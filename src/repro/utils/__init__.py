@@ -1,0 +1,33 @@
+"""Shared utilities: error types, RNG handling, bitstring helpers."""
+
+from repro.utils.exceptions import (
+    CharterError,
+    CircuitError,
+    NoiseModelError,
+    ReproError,
+    SimulationError,
+    TranspilerError,
+)
+from repro.utils.rng import ensure_rng, spawn_rngs, spawn_seeds
+from repro.utils.bitstrings import (
+    bitstring_to_index,
+    hamming_weight,
+    index_to_bitstring,
+    all_bitstrings,
+)
+
+__all__ = [
+    "ReproError",
+    "CircuitError",
+    "TranspilerError",
+    "SimulationError",
+    "NoiseModelError",
+    "CharterError",
+    "ensure_rng",
+    "spawn_rngs",
+    "spawn_seeds",
+    "index_to_bitstring",
+    "bitstring_to_index",
+    "hamming_weight",
+    "all_bitstrings",
+]

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can catch
+library errors without masking programming errors (``TypeError`` etc.).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CircuitError(ReproError):
+    """Raised for invalid circuit construction or manipulation."""
+
+
+class TranspilerError(ReproError):
+    """Raised when a transpilation pass cannot produce a valid circuit."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator is asked to do something unsupported."""
+
+
+class NoiseModelError(ReproError):
+    """Raised for inconsistent noise-model or calibration specifications."""
+
+
+class CharterError(ReproError):
+    """Raised by the CHARTER core for invalid analysis requests."""

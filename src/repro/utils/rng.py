@@ -1,0 +1,72 @@
+"""Deterministic random-number-generator plumbing.
+
+All stochastic components of the library (calibration synthesis, trajectory
+simulation, shot sampling, random circuit generation) accept either an integer
+seed, an existing :class:`numpy.random.Generator`, or ``None``.  ``ensure_rng``
+normalises these into a ``Generator``.  ``spawn_rngs``/``spawn_seeds`` derive
+independent child streams so that work farmed out to worker processes stays
+reproducible regardless of scheduling order (see ``repro.parallel``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an ``int`` seed, a ``SeedSequence``, or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(f"cannot build a Generator from {seed!r}")
+
+
+def spawn_seeds(seed: SeedLike, count: int) -> Sequence[int]:
+    """Derive ``count`` independent integer seeds from ``seed``.
+
+    Integer seeds (rather than Generators) are returned because they are cheap
+    to pickle across process boundaries.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    elif isinstance(seed, np.random.Generator):
+        # Derive a stable entropy value from the generator stream.
+        seq = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    else:
+        seq = np.random.SeedSequence(seed)
+    children = seq.spawn(count)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> Sequence[np.random.Generator]:
+    """Derive ``count`` independent Generators from ``seed``."""
+    return [np.random.default_rng(s) for s in spawn_seeds(seed, count)]
+
+
+def derive_seed(seed: Optional[int], *components: int) -> Optional[int]:
+    """Mix ``components`` into ``seed`` to obtain a stable derived seed.
+
+    Used to give each (circuit, repetition) pair its own stream without the
+    caller having to pre-spawn every seed.  Returns ``None`` if ``seed`` is
+    ``None`` (i.e. non-deterministic mode propagates).
+    """
+    if seed is None:
+        return None
+    seq = np.random.SeedSequence(entropy=seed, spawn_key=tuple(int(c) for c in components))
+    return int(seq.generate_state(1, dtype=np.uint64)[0])
