@@ -1,0 +1,78 @@
+"""repro — layered quantum-circuit simulation stack for conf_sc_PatelST22.
+
+Layering (each layer depends only on the ones above it)::
+
+    repro.utils     exceptions, RNG plumbing, bitstring conventions
+    repro.circuit   gate-instruction IR (Gate, Instruction, Circuit)
+    repro.gates     registry-backed standard gate library
+    repro.sim       vectorised statevector backend
+    repro.sampling  shot sampling -> Counts
+
+The public API re-exported here is the supported surface; module internals
+may move between PRs.
+"""
+
+from repro.circuit import Circuit, Gate, Instruction
+from repro.gates import available_gates, gate_arity, get_gate, register_gate
+from repro.sampling import Counts, sample_counts, sample_memory
+from repro.sim import Statevector, StatevectorBackend, run
+from repro.utils import (
+    CharterError,
+    CircuitError,
+    NoiseModelError,
+    ReproError,
+    SimulationError,
+    TranspilerError,
+    all_bitstrings,
+    bitstring_to_index,
+    derive_seed,
+    ensure_rng,
+    flip_bit,
+    hamming_weight,
+    index_to_bitstring,
+    iter_bitstrings,
+    spawn_rngs,
+    spawn_seeds,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # circuit IR
+    "Circuit",
+    "Gate",
+    "Instruction",
+    # gate library
+    "available_gates",
+    "gate_arity",
+    "get_gate",
+    "register_gate",
+    # simulation
+    "Statevector",
+    "StatevectorBackend",
+    "run",
+    # sampling
+    "Counts",
+    "sample_counts",
+    "sample_memory",
+    # utils: exceptions
+    "ReproError",
+    "CircuitError",
+    "TranspilerError",
+    "SimulationError",
+    "NoiseModelError",
+    "CharterError",
+    # utils: bitstrings
+    "all_bitstrings",
+    "bitstring_to_index",
+    "flip_bit",
+    "hamming_weight",
+    "index_to_bitstring",
+    "iter_bitstrings",
+    # utils: rng
+    "derive_seed",
+    "ensure_rng",
+    "spawn_rngs",
+    "spawn_seeds",
+]

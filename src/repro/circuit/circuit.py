@@ -1,0 +1,225 @@
+"""The :class:`Circuit` container of the IR.
+
+A circuit is an ordered list of :class:`Instruction` objects over a register
+of ``num_qubits`` qubits.  Instructions themselves are immutable; the circuit
+is an append-only builder with structural queries (``depth``, ``count_ops``)
+and whole-circuit transforms (``compose``, ``inverse``, ``remapped``) that
+return new objects rather than mutating in place.
+
+Convenience single-gate methods (``h``, ``cx``, ``rz``...) resolve gates
+through :mod:`repro.gates` lazily so the IR layer itself stays free of a
+compile-time dependency on the gate library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.circuit.gate import Gate
+from repro.circuit.instruction import Instruction
+from repro.utils.exceptions import CircuitError
+
+
+class Circuit:
+    """An ordered gate-instruction list over a fixed-width qubit register."""
+
+    __slots__ = ("_num_qubits", "_name", "_instructions")
+
+    def __init__(self, num_qubits: int, name: Optional[str] = None) -> None:
+        if num_qubits < 1:
+            raise CircuitError(f"circuit needs >= 1 qubit, got {num_qubits}")
+        self._num_qubits = int(num_qubits)
+        self._name = name
+        self._instructions: List[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def name(self) -> Optional[str]:
+        return self._name
+
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        return tuple(self._instructions)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index):
+        return self._instructions[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return (
+            self._num_qubits == other._num_qubits
+            and self._instructions == other._instructions
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return (
+            f"Circuit({self._num_qubits} qubits,{label} "
+            f"{len(self._instructions)} instructions, depth {self.depth()})"
+        )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate, qubits: Sequence[int]) -> "Circuit":
+        """Append ``gate`` on ``qubits``; validates indices against the register.
+
+        Returns ``self`` so calls can be chained.
+        """
+        instruction = Instruction(gate, qubits)
+        out_of_range = [q for q in instruction.qubits if q >= self._num_qubits]
+        if out_of_range:
+            raise CircuitError(
+                f"qubit(s) {out_of_range} out of range for a "
+                f"{self._num_qubits}-qubit circuit"
+            )
+        self._instructions.append(instruction)
+        return self
+
+    def extend(self, instructions: Sequence[Instruction]) -> "Circuit":
+        for instruction in instructions:
+            self.append(instruction.gate, instruction.qubits)
+        return self
+
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        out = Circuit(self._num_qubits, name if name is not None else self._name)
+        out._instructions = list(self._instructions)
+        return out
+
+    # ------------------------------------------------------------------
+    # whole-circuit transforms
+    # ------------------------------------------------------------------
+    def compose(self, other: "Circuit", qubits: Optional[Sequence[int]] = None) -> "Circuit":
+        """Return a new circuit running ``self`` then ``other``.
+
+        ``qubits`` maps qubit ``q`` of ``other`` onto ``qubits[q]`` of this
+        circuit; by default ``other`` must not be wider than ``self`` and maps
+        identically.
+        """
+        if qubits is None:
+            if other.num_qubits > self._num_qubits:
+                raise CircuitError(
+                    f"cannot compose a {other.num_qubits}-qubit circuit onto "
+                    f"{self._num_qubits} qubits without an explicit mapping"
+                )
+            mapping: Sequence[int] = range(other.num_qubits)
+        else:
+            mapping = tuple(int(q) for q in qubits)
+            if len(mapping) != other.num_qubits:
+                raise CircuitError(
+                    f"mapping has {len(mapping)} entries for a "
+                    f"{other.num_qubits}-qubit circuit"
+                )
+            if len(set(mapping)) != len(mapping):
+                raise CircuitError(f"duplicate qubits in mapping: {mapping}")
+        out = self.copy()
+        for instruction in other:
+            out.append(
+                instruction.gate, tuple(mapping[q] for q in instruction.qubits)
+            )
+        return out
+
+    def inverse(self) -> "Circuit":
+        """The adjoint circuit: reversed order, each gate inverted."""
+        out = Circuit(self._num_qubits, self._name)
+        out._instructions = [
+            instruction.inverse() for instruction in reversed(self._instructions)
+        ]
+        return out
+
+    def remapped(self, mapping: Sequence[int], num_qubits: Optional[int] = None) -> "Circuit":
+        """Relabel qubits: instruction qubit ``q`` becomes ``mapping[q]``."""
+        width = num_qubits if num_qubits is not None else self._num_qubits
+        out = Circuit(width, self._name)
+        for instruction in self._instructions:
+            moved = instruction.remapped(mapping)
+            out.append(moved.gate, moved.qubits)
+        return out
+
+    # ------------------------------------------------------------------
+    # structural queries
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Greedy circuit depth: longest chain of instructions sharing qubits."""
+        level: Dict[int, int] = {}
+        depth = 0
+        for instruction in self._instructions:
+            layer = 1 + max((level.get(q, 0) for q in instruction.qubits), default=0)
+            for q in instruction.qubits:
+                level[q] = layer
+            depth = max(depth, layer)
+        return depth
+
+    def count_ops(self) -> Dict[str, int]:
+        """Histogram of gate names."""
+        counts: Dict[str, int] = {}
+        for instruction in self._instructions:
+            counts[instruction.gate.name] = counts.get(instruction.gate.name, 0) + 1
+        return counts
+
+    def active_qubits(self) -> Tuple[int, ...]:
+        """Sorted qubits touched by at least one instruction."""
+        seen = set()
+        for instruction in self._instructions:
+            seen.update(instruction.qubits)
+        return tuple(sorted(seen))
+
+    # ------------------------------------------------------------------
+    # standard-gate conveniences (lazy gate-library lookup)
+    # ------------------------------------------------------------------
+    def _append_std(self, name: str, qubits: Sequence[int], *params: float) -> "Circuit":
+        from repro.gates import get_gate
+
+        return self.append(get_gate(name, *params), qubits)
+
+    def x(self, qubit: int) -> "Circuit":
+        return self._append_std("x", (qubit,))
+
+    def y(self, qubit: int) -> "Circuit":
+        return self._append_std("y", (qubit,))
+
+    def z(self, qubit: int) -> "Circuit":
+        return self._append_std("z", (qubit,))
+
+    def h(self, qubit: int) -> "Circuit":
+        return self._append_std("h", (qubit,))
+
+    def s(self, qubit: int) -> "Circuit":
+        return self._append_std("s", (qubit,))
+
+    def t(self, qubit: int) -> "Circuit":
+        return self._append_std("t", (qubit,))
+
+    def rx(self, theta: float, qubit: int) -> "Circuit":
+        return self._append_std("rx", (qubit,), theta)
+
+    def ry(self, theta: float, qubit: int) -> "Circuit":
+        return self._append_std("ry", (qubit,), theta)
+
+    def rz(self, theta: float, qubit: int) -> "Circuit":
+        return self._append_std("rz", (qubit,), theta)
+
+    def u3(self, theta: float, phi: float, lam: float, qubit: int) -> "Circuit":
+        return self._append_std("u3", (qubit,), theta, phi, lam)
+
+    def cx(self, control: int, target: int) -> "Circuit":
+        return self._append_std("cx", (control, target))
+
+    def cz(self, control: int, target: int) -> "Circuit":
+        return self._append_std("cz", (control, target))
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "Circuit":
+        return self._append_std("swap", (qubit_a, qubit_b))

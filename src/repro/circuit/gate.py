@@ -1,0 +1,139 @@
+"""The :class:`Gate` leaf of the circuit IR.
+
+A gate is an immutable value object: a name, a qubit arity, a tuple of real
+parameters (already bound — the IR carries no symbolic parameters), and the
+``2**k x 2**k`` unitary matrix it represents.  Matrices are stored read-only so
+gates can be shared freely between circuits and cached by the gate library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.exceptions import CircuitError
+
+_ATOL = 1e-10
+
+
+def _as_readonly_matrix(matrix: np.ndarray, num_qubits: int) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=complex)
+    dim = 1 << num_qubits
+    if matrix.shape != (dim, dim):
+        raise CircuitError(
+            f"gate matrix has shape {matrix.shape}, expected {(dim, dim)} "
+            f"for {num_qubits} qubit(s)"
+        )
+    matrix = matrix.copy()
+    matrix.setflags(write=False)
+    return matrix
+
+
+class Gate:
+    """An immutable named unitary acting on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    name:
+        Lower-case gate mnemonic, e.g. ``"h"`` or ``"rz"``.
+    num_qubits:
+        Arity of the gate (1 for single-qubit gates, 2 for CX, ...).
+    matrix:
+        The ``2**num_qubits x 2**num_qubits`` unitary.  Row/column index bits
+        follow the library bitstring convention: the *first* qubit the gate is
+        applied to is the most significant bit.
+    params:
+        Bound real parameters (rotation angles etc.); part of gate identity.
+    """
+
+    __slots__ = ("_name", "_num_qubits", "_matrix", "_params")
+
+    def __init__(
+        self,
+        name: str,
+        num_qubits: int,
+        matrix: np.ndarray,
+        params: Sequence[float] = (),
+    ) -> None:
+        if not name or not isinstance(name, str):
+            raise CircuitError(f"gate name must be a non-empty string, got {name!r}")
+        if num_qubits < 1:
+            raise CircuitError(f"gate must act on >= 1 qubit, got {num_qubits}")
+        self._name = name
+        self._num_qubits = int(num_qubits)
+        self._matrix = _as_readonly_matrix(matrix, num_qubits)
+        self._params = tuple(float(p) for p in params)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The (read-only) unitary matrix of the gate."""
+        return self._matrix
+
+    @property
+    def params(self) -> Tuple[float, ...]:
+        return self._params
+
+    def is_unitary(self, atol: float = _ATOL) -> bool:
+        dim = self._matrix.shape[0]
+        return bool(
+            np.allclose(
+                self._matrix @ self._matrix.conj().T, np.eye(dim), atol=atol
+            )
+        )
+
+    def inverse(self) -> "Gate":
+        """The adjoint gate ``U†``.
+
+        When the gate library registers an inverse rule for this
+        ``(name, params)`` (e.g. ``s`` -> ``sdg``, ``rx(t)`` -> ``rx(-t)``),
+        the registered adjoint is returned so inverted circuits stay
+        expressed in registry-resolvable pairs.  Otherwise self-inverse
+        gates keep their name and anything else gets a ``dg`` suffix
+        appended or stripped (``g.inverse().inverse() == g`` name-wise).
+        """
+        adj = self._matrix.conj().T
+        try:
+            from repro.gates.registry import resolve_inverse
+
+            candidate = resolve_inverse(self._name, self._params)
+        except ImportError:  # gates layer unavailable (partial install)
+            candidate = None
+        # The name may be shadowed by a user Gate with a different matrix,
+        # so only trust a rule whose matrix really is the adjoint.
+        if candidate is not None and np.allclose(candidate.matrix, adj, atol=_ATOL):
+            return candidate
+        if np.allclose(adj, self._matrix, atol=_ATOL):
+            name = self._name
+        elif self._name.endswith("dg"):
+            name = self._name[:-2]
+        else:
+            name = self._name + "dg"
+        return Gate(name, self._num_qubits, adj, self._params)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Gate):
+            return NotImplemented
+        return (
+            self._name == other._name
+            and self._num_qubits == other._num_qubits
+            and self._params == other._params
+            and np.array_equal(self._matrix, other._matrix)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._num_qubits, self._params))
+
+    def __repr__(self) -> str:
+        if self._params:
+            args = ", ".join(f"{p:g}" for p in self._params)
+            return f"Gate({self._name}({args}), qubits={self._num_qubits})"
+        return f"Gate({self._name}, qubits={self._num_qubits})"

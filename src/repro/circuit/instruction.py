@@ -1,0 +1,66 @@
+"""The :class:`Instruction` node of the circuit IR: a gate bound to qubits."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.circuit.gate import Gate
+from repro.utils.exceptions import CircuitError
+
+
+class Instruction:
+    """An immutable application of a :class:`Gate` to concrete qubit indices.
+
+    Qubit order matters: ``qubits[0]`` is the gate's most significant qubit
+    (e.g. the control for CX built with the standard library).
+    """
+
+    __slots__ = ("_gate", "_qubits")
+
+    def __init__(self, gate: Gate, qubits: Sequence[int]) -> None:
+        if not isinstance(gate, Gate):
+            raise CircuitError(f"expected a Gate, got {type(gate).__name__}")
+        qubits = tuple(int(q) for q in qubits)
+        if len(qubits) != gate.num_qubits:
+            raise CircuitError(
+                f"gate {gate.name!r} acts on {gate.num_qubits} qubit(s) but "
+                f"{len(qubits)} were given: {qubits}"
+            )
+        if any(q < 0 for q in qubits):
+            raise CircuitError(f"qubit indices must be non-negative: {qubits}")
+        if len(set(qubits)) != len(qubits):
+            raise CircuitError(f"duplicate qubit indices: {qubits}")
+        self._gate = gate
+        self._qubits = qubits
+
+    @property
+    def gate(self) -> Gate:
+        return self._gate
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        return self._qubits
+
+    def inverse(self) -> "Instruction":
+        return Instruction(self._gate.inverse(), self._qubits)
+
+    def remapped(self, mapping: Sequence[int]) -> "Instruction":
+        """Return the instruction with each qubit ``q`` replaced by ``mapping[q]``."""
+        try:
+            return Instruction(self._gate, tuple(mapping[q] for q in self._qubits))
+        except IndexError:
+            raise CircuitError(
+                f"qubit mapping of length {len(mapping)} cannot remap {self._qubits}"
+            ) from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return self._gate == other._gate and self._qubits == other._qubits
+
+    def __hash__(self) -> int:
+        return hash((self._gate, self._qubits))
+
+    def __repr__(self) -> str:
+        qubits = ", ".join(str(q) for q in self._qubits)
+        return f"Instruction({self._gate.name} @ [{qubits}])"

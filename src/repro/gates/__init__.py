@@ -1,0 +1,24 @@
+"""Registry-backed standard gate library.
+
+``get_gate("h")`` / ``get_gate("rz", theta)`` construct :class:`~repro.circuit.Gate`
+objects from registered matrix builders, caching each distinct
+``(name, params)`` combination so repeated circuit construction never
+re-allocates matrices.
+"""
+
+from repro.gates.registry import (
+    available_gates,
+    gate_arity,
+    get_gate,
+    register_gate,
+)
+from repro.gates import library as _library  # registers the standard gates
+
+__all__ = [
+    "available_gates",
+    "gate_arity",
+    "get_gate",
+    "register_gate",
+]
+
+del _library

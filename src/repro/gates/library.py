@@ -1,0 +1,118 @@
+"""Standard gate matrices, registered into :mod:`repro.gates.registry`.
+
+Matrix index convention (see ``repro.utils.bitstrings``): for a multi-qubit
+gate the first qubit passed to :meth:`Circuit.append` is the most significant
+bit of the row/column index, so CX below has its *control* first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gates.registry import register_gate
+
+_SQRT2_INV = 1.0 / np.sqrt(2.0)
+
+
+def _x() -> np.ndarray:
+    return np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+def _y() -> np.ndarray:
+    return np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+
+def _z() -> np.ndarray:
+    return np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def _h() -> np.ndarray:
+    return np.array([[1, 1], [1, -1]], dtype=complex) * _SQRT2_INV
+
+
+def _s() -> np.ndarray:
+    return np.array([[1, 0], [0, 1j]], dtype=complex)
+
+
+def _sdg() -> np.ndarray:
+    return np.array([[1, 0], [0, -1j]], dtype=complex)
+
+
+def _t() -> np.ndarray:
+    return np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex)
+
+
+def _tdg() -> np.ndarray:
+    return np.array([[1, 0], [0, np.exp(-1j * np.pi / 4)]], dtype=complex)
+
+
+def _rx(theta: float) -> np.ndarray:
+    cos, sin = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[cos, -1j * sin], [-1j * sin, cos]], dtype=complex)
+
+
+def _ry(theta: float) -> np.ndarray:
+    cos, sin = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[cos, -sin], [sin, cos]], dtype=complex)
+
+
+def _rz(theta: float) -> np.ndarray:
+    phase = np.exp(0.5j * theta)
+    return np.array([[phase.conjugate(), 0], [0, phase]], dtype=complex)
+
+
+def _phase(lam: float) -> np.ndarray:
+    return np.array([[1, 0], [0, np.exp(1j * lam)]], dtype=complex)
+
+
+def _u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    cos, sin = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array(
+        [
+            [cos, -np.exp(1j * lam) * sin],
+            [np.exp(1j * phi) * sin, np.exp(1j * (phi + lam)) * cos],
+        ],
+        dtype=complex,
+    )
+
+
+def _cx() -> np.ndarray:
+    # Control is the most significant index bit (first qubit of the instruction).
+    return np.array(
+        [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+    )
+
+
+def _cz() -> np.ndarray:
+    return np.diag([1, 1, 1, -1]).astype(complex)
+
+
+def _swap() -> np.ndarray:
+    return np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+    )
+
+
+def _identity() -> np.ndarray:
+    return np.eye(2, dtype=complex)
+
+
+# Self-adjoint gates need no inverse rule: Gate.inverse() keeps their name.
+register_gate("id", 1, 0, _identity)
+register_gate("x", 1, 0, _x)
+register_gate("y", 1, 0, _y)
+register_gate("z", 1, 0, _z)
+register_gate("h", 1, 0, _h)
+register_gate("s", 1, 0, _s, inverse=lambda: ("sdg", ()))
+register_gate("sdg", 1, 0, _sdg, inverse=lambda: ("s", ()))
+register_gate("t", 1, 0, _t, inverse=lambda: ("tdg", ()))
+register_gate("tdg", 1, 0, _tdg, inverse=lambda: ("t", ()))
+register_gate("rx", 1, 1, _rx, inverse=lambda theta: ("rx", (-theta,)))
+register_gate("ry", 1, 1, _ry, inverse=lambda theta: ("ry", (-theta,)))
+register_gate("rz", 1, 1, _rz, inverse=lambda theta: ("rz", (-theta,)))
+register_gate("p", 1, 1, _phase, inverse=lambda lam: ("p", (-lam,)))
+# u3(theta, phi, lam)^dagger = u3(-theta, -lam, -phi): phi and lam swap.
+register_gate("u3", 1, 3, _u3, inverse=lambda t, p, l: ("u3", (-t, -l, -p)))
+register_gate("cx", 2, 0, _cx)
+register_gate("cz", 2, 0, _cz)
+register_gate("swap", 2, 0, _swap)

@@ -1,0 +1,10 @@
+"""Shot-sampling pipeline: Born-rule measurement of simulated states.
+
+Sampling is driven through ``ensure_rng``/``derive_seed`` so that every
+``(circuit, repetition)`` pair owns an independent, reproducible stream.
+"""
+
+from repro.sampling.counts import Counts
+from repro.sampling.sampler import sample_counts, sample_memory
+
+__all__ = ["Counts", "sample_counts", "sample_memory"]

@@ -1,0 +1,104 @@
+"""The :class:`Counts` result mapping: bitstring -> observed shot count."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.utils.bitstrings import bitstring_to_index
+from repro.utils.exceptions import SimulationError
+
+
+class Counts(Dict[str, int]):
+    """Measurement outcomes keyed by bitstring (qubit 0 leftmost).
+
+    A thin ``dict`` subclass so it behaves like the plain mappings users
+    expect, plus shot bookkeeping and probability/mode helpers.  Keys are
+    validated on construction; zero-count outcomes are dropped.
+    """
+
+    def __init__(self, data: Mapping[str, int] = (), num_qubits: int = 0) -> None:
+        items = dict(data)
+        for key, value in items.items():
+            try:
+                bitstring_to_index(key)  # validates characters
+            except ValueError as exc:
+                raise SimulationError(str(exc)) from None
+            if value < 0:
+                raise SimulationError(f"negative count for {key!r}: {value}")
+            if int(value) != value:
+                raise SimulationError(
+                    f"non-integer count for {key!r}: {value!r} "
+                    "(counts are shot tallies, not probabilities)"
+                )
+        surviving = {k: int(v) for k, v in items.items() if v > 0}
+        # Width consistency is judged on surviving keys only — zero-count
+        # outcomes are dropped and must not veto an otherwise valid mapping.
+        widths = {len(k) for k in surviving}
+        if num_qubits:
+            widths.add(num_qubits)
+        if len(widths) > 1:
+            raise SimulationError(
+                f"inconsistent bitstring widths in counts: {sorted(widths)}"
+            )
+        super().__init__(surviving)
+        self._num_qubits = widths.pop() if widths else 0
+
+    # Counts are a measurement *result*: freeze the dict mutators so the
+    # constructor's validation cannot be bypassed after the fact.
+    def _read_only(self, *args, **kwargs):
+        raise TypeError("Counts is read-only; build a new Counts or use merged()")
+
+    __setitem__ = _read_only
+    __delitem__ = _read_only
+    __ior__ = _read_only  # c |= other calls dict.__ior__ directly, not update
+    clear = _read_only
+    pop = _read_only
+    popitem = _read_only
+    setdefault = _read_only
+    update = _read_only
+
+    def copy(self) -> "Counts":
+        """A Counts copy (not a plain dict), preserving ``num_qubits``."""
+        return Counts(dict(self), num_qubits=self._num_qubits)
+
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def shots(self) -> int:
+        """Total number of shots recorded."""
+        return sum(self.values())
+
+    def probabilities(self) -> Dict[str, float]:
+        """Empirical outcome frequencies (sums to 1 when shots > 0)."""
+        total = self.shots
+        if total == 0:
+            return {}
+        return {k: v / total for k, v in self.items()}
+
+    def most_frequent(self) -> str:
+        """The modal bitstring; ties broken by index order."""
+        if not self:
+            raise SimulationError("no counts recorded")
+        return min(self.items(), key=lambda kv: (-kv[1], bitstring_to_index(kv[0])))[0]
+
+    def int_outcomes(self) -> Dict[int, int]:
+        """Counts keyed by basis-state index instead of bitstring."""
+        return {bitstring_to_index(k): v for k, v in self.items()}
+
+    def merged(self, other: "Counts") -> "Counts":
+        """Combine two counts objects shot-wise (e.g. across repetitions)."""
+        if other._num_qubits and self._num_qubits and other._num_qubits != self._num_qubits:
+            raise SimulationError(
+                f"cannot merge counts over {self._num_qubits} and "
+                f"{other._num_qubits} qubits"
+            )
+        merged: Dict[str, int] = dict(self)
+        for key, value in other.items():
+            merged[key] = merged.get(key, 0) + value
+        return Counts(merged, num_qubits=self._num_qubits or other._num_qubits)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k!r}: {v}" for k, v in sorted(self.items()))
+        return f"Counts({{{body}}}, shots={self.shots})"

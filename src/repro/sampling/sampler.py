@@ -1,0 +1,110 @@
+"""Born-rule shot sampling of circuits and statevectors.
+
+Sampling never loops over shots: outcomes are drawn with a single vectorised
+``Generator.multinomial`` (for counts) or ``Generator.choice`` (for per-shot
+memory) over the ``2**n`` probability vector.
+
+Reproducibility contract: an integer ``seed`` plus a ``repetition`` index is
+mixed through :func:`repro.utils.rng.derive_seed`, so repeated runs of the
+same ``(seed, repetition)`` return identical results while different
+repetitions get independent streams — regardless of the order in which they
+execute (see ``repro.parallel``, future work).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+from repro.circuit import Circuit
+from repro.sampling.counts import Counts
+from repro.sim import Statevector, run
+from repro.utils.bitstrings import index_to_bitstring
+from repro.utils.exceptions import SimulationError
+from repro.utils.rng import SeedLike, derive_seed, ensure_rng
+
+
+def _resolve_state(source: Union[Circuit, Statevector]) -> Statevector:
+    if isinstance(source, Circuit):
+        return run(source)
+    if isinstance(source, Statevector):
+        return source
+    raise SimulationError(
+        f"cannot sample from {type(source).__name__}; "
+        "expected a Circuit or Statevector"
+    )
+
+
+def _resolve_rng(seed: SeedLike, repetition: int) -> np.random.Generator:
+    if repetition < 0:
+        raise SimulationError(f"repetition must be non-negative, got {repetition}")
+    if isinstance(seed, np.random.SeedSequence):
+        # Collapse to a stable integer (generate_state is pure) so the
+        # repetition mixing below applies to SeedSequence seeds too.
+        seed = int(seed.generate_state(1, dtype=np.uint64)[0])
+    if isinstance(seed, (int, np.integer)):
+        seed = derive_seed(int(seed), repetition)
+    return ensure_rng(seed)
+
+
+def _prepare(
+    source: Union[Circuit, Statevector],
+    shots: int,
+    seed: SeedLike,
+    repetition: int,
+):
+    """Shared sampling preamble: validate, simulate, seed, normalise."""
+    if shots < 1:
+        raise SimulationError(f"shots must be positive, got {shots}")
+    state = _resolve_state(source)
+    rng = _resolve_rng(seed, repetition)
+    # float64 even for complex64 states; guard against drift so the
+    # probability vector sums to exactly 1 for multinomial/choice.
+    probs = state.probabilities().astype(np.float64)
+    return state, rng, probs / probs.sum()
+
+
+def sample_counts(
+    source: Union[Circuit, Statevector],
+    shots: int,
+    seed: SeedLike = None,
+    repetition: int = 0,
+) -> Counts:
+    """Sample ``shots`` measurement outcomes, aggregated into :class:`Counts`.
+
+    Parameters
+    ----------
+    source:
+        A :class:`Circuit` (simulated on the default backend) or an already
+        computed :class:`Statevector`.
+    shots:
+        Number of measurement shots (must be positive).
+    seed:
+        Integer seeds are mixed with ``repetition`` via ``derive_seed``;
+        ``None`` samples fresh entropy; an explicit ``Generator`` is used
+        as-is (``repetition`` then only validates).
+    repetition:
+        Index of this repetition of the experiment; distinct repetitions of
+        the same integer seed draw from independent streams.
+    """
+    state, rng, probs = _prepare(source, shots, seed, repetition)
+    draws = rng.multinomial(shots, probs)
+    (indices,) = np.nonzero(draws)
+    counts = {
+        index_to_bitstring(int(i), state.num_qubits): int(draws[i])
+        for i in indices
+    }
+    return Counts(counts, num_qubits=state.num_qubits)
+
+
+def sample_memory(
+    source: Union[Circuit, Statevector],
+    shots: int,
+    seed: SeedLike = None,
+    repetition: int = 0,
+) -> List[str]:
+    """Sample ``shots`` outcomes preserving per-shot order (a "memory" list)."""
+    state, rng, probs = _prepare(source, shots, seed, repetition)
+    indices = rng.choice(probs.size, size=shots, p=probs)
+    return [index_to_bitstring(int(i), state.num_qubits) for i in indices]

@@ -1,0 +1,11 @@
+"""Vectorised statevector simulation backend.
+
+Gates are applied by tensor contraction on the ``(2,) * n`` reshaped
+statevector (axis ``q`` = qubit ``q``, per ``repro.utils.bitstrings``) —
+never by building ``2**n x 2**n`` operators.
+"""
+
+from repro.sim.statevector import Statevector
+from repro.sim.backend import StatevectorBackend, apply_gate_tensor, run
+
+__all__ = ["Statevector", "StatevectorBackend", "apply_gate_tensor", "run"]

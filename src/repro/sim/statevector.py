@@ -1,0 +1,174 @@
+"""The :class:`Statevector` result type and its measurement-free queries."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.bitstrings import bitstring_to_index, index_to_bitstring
+from repro.utils.exceptions import SimulationError
+
+_ATOL = 1e-10
+
+
+def _index(bitstring: str) -> int:
+    """bitstring_to_index, re-raised under the sim layer's error contract."""
+    try:
+        return bitstring_to_index(bitstring)
+    except ValueError as exc:
+        raise SimulationError(str(exc)) from None
+
+
+class Statevector:
+    """A normalised pure state of an ``n``-qubit register.
+
+    The amplitude of bitstring ``b`` lives at flat index
+    ``bitstring_to_index(b)``; equivalently :meth:`tensor` returns the
+    ``(2,) * n`` view whose axis ``q`` indexes qubit ``q``.
+    """
+
+    __slots__ = ("_data", "_num_qubits")
+
+    def __init__(self, data: np.ndarray, validate: bool = True) -> None:
+        data = np.asarray(data)
+        # Preserve single-precision amplitudes (half-memory mode); promote
+        # everything else to complex128.
+        dtype = np.complex64 if data.dtype == np.complex64 else np.complex128
+        data = data.astype(dtype).reshape(-1)
+        # astype above always copies, so freezing keeps the state immutable
+        # without aliasing the caller's buffer; views (tensor()) inherit it.
+        data.setflags(write=False)
+        size = data.size
+        num_qubits = int(size).bit_length() - 1
+        if size < 2 or (1 << num_qubits) != size:
+            raise SimulationError(
+                f"statevector length {size} is not a power of two >= 2"
+            )
+        if validate:
+            norm = np.linalg.norm(data)
+            if abs(norm - 1.0) > 1e-8:
+                raise SimulationError(
+                    f"statevector is not normalised (norm {norm:.6g})"
+                )
+        self._data = data
+        self._num_qubits = num_qubits
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "Statevector":
+        """The all-zeros computational basis state ``|0...0>``."""
+        if num_qubits < 1:
+            raise SimulationError(f"need >= 1 qubit, got {num_qubits}")
+        data = np.zeros(1 << num_qubits, dtype=complex)
+        data[0] = 1.0
+        return cls(data, validate=False)
+
+    @classmethod
+    def from_bitstring(cls, bitstring: str) -> "Statevector":
+        """The computational basis state ``|bitstring>``."""
+        data = np.zeros(1 << len(bitstring), dtype=complex)
+        data[_index(bitstring)] = 1.0
+        return cls(data, validate=False)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def data(self) -> np.ndarray:
+        """The flat length-``2**n`` amplitude array (a copy)."""
+        return self._data.copy()
+
+    def tensor(self) -> np.ndarray:
+        """The ``(2,) * n`` tensor view (read-only); axis ``q`` indexes qubit ``q``."""
+        return self._data.reshape((2,) * self._num_qubits)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def amplitude(self, bitstring: str) -> complex:
+        if len(bitstring) != self._num_qubits:
+            raise SimulationError(
+                f"bitstring {bitstring!r} has {len(bitstring)} bits, "
+                f"state has {self._num_qubits} qubits"
+            )
+        return complex(self._data[_index(bitstring)])
+
+    def probabilities(self) -> np.ndarray:
+        """Born probabilities over all ``2**n`` basis states, in index order."""
+        return np.abs(self._data) ** 2
+
+    def probability(self, bitstring: str) -> float:
+        return abs(self.amplitude(bitstring)) ** 2
+
+    def probabilities_dict(self, threshold: float = _ATOL) -> Dict[str, float]:
+        """Bitstring -> probability for outcomes above ``threshold``."""
+        probs = self.probabilities()
+        (indices,) = np.nonzero(probs > threshold)
+        return {
+            index_to_bitstring(int(i), self._num_qubits): float(probs[i])
+            for i in indices
+        }
+
+    def inner(self, other: "Statevector") -> complex:
+        """The overlap ``<self|other>``."""
+        if other.num_qubits != self._num_qubits:
+            raise SimulationError(
+                f"cannot overlap {self._num_qubits}- and "
+                f"{other.num_qubits}-qubit states"
+            )
+        return complex(np.vdot(self._data, other._data))
+
+    def fidelity(self, other: "Statevector") -> float:
+        """``|<self|other>|**2``."""
+        return abs(self.inner(other)) ** 2
+
+    def expectation(self, matrix: np.ndarray, qubits: Sequence[int]) -> complex:
+        """``<psi| M |psi>`` for operator ``matrix`` acting on ``qubits``.
+
+        The operator is applied by tensor contraction on the reshaped state —
+        it is never embedded into a ``2**n x 2**n`` matrix.
+        """
+        from repro.sim.backend import apply_gate_tensor
+
+        qubits = tuple(int(q) for q in qubits)
+        if any(q < 0 or q >= self._num_qubits for q in qubits):
+            raise SimulationError(
+                f"qubits {qubits} out of range for {self._num_qubits}-qubit state"
+            )
+        if len(set(qubits)) != len(qubits):
+            raise SimulationError(f"duplicate qubit indices: {qubits}")
+        matrix = np.asarray(matrix, dtype=complex)
+        dim = 1 << len(qubits)
+        if matrix.shape != (dim, dim):
+            raise SimulationError(
+                f"operator shape {matrix.shape} does not match qubits {qubits}"
+            )
+        applied = apply_gate_tensor(self.tensor(), matrix, qubits)
+        return complex(np.vdot(self._data, applied.reshape(-1)))
+
+    def expectation_z(self, qubit: int) -> float:
+        """``<Z_qubit>`` computed directly from probabilities."""
+        if qubit < 0 or qubit >= self._num_qubits:
+            raise SimulationError(
+                f"qubit {qubit} out of range for {self._num_qubits}-qubit state"
+            )
+        probs = self.probabilities().reshape((2,) * self._num_qubits)
+        marginal = np.moveaxis(probs, qubit, 0).reshape(2, -1).sum(axis=1)
+        return float(marginal[0] - marginal[1])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Statevector):
+            return NotImplemented
+        return self._num_qubits == other._num_qubits and np.allclose(
+            self._data, other._data, atol=_ATOL
+        )
+
+    def __repr__(self) -> str:
+        return f"Statevector({self._num_qubits} qubits)"

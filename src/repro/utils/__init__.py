@@ -8,11 +8,13 @@ from repro.utils.exceptions import (
     SimulationError,
     TranspilerError,
 )
-from repro.utils.rng import ensure_rng, spawn_rngs, spawn_seeds
+from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs, spawn_seeds
 from repro.utils.bitstrings import (
     bitstring_to_index,
+    flip_bit,
     hamming_weight,
     index_to_bitstring,
+    iter_bitstrings,
     all_bitstrings,
 )
 
@@ -23,6 +25,7 @@ __all__ = [
     "SimulationError",
     "NoiseModelError",
     "CharterError",
+    "derive_seed",
     "ensure_rng",
     "spawn_rngs",
     "spawn_seeds",
@@ -30,4 +33,6 @@ __all__ = [
     "bitstring_to_index",
     "hamming_weight",
     "all_bitstrings",
+    "iter_bitstrings",
+    "flip_bit",
 ]

@@ -43,6 +43,11 @@ def spawn_seeds(seed: SeedLike, count: int) -> Sequence[int]:
     """
     if count < 0:
         raise ValueError("count must be non-negative")
+    if count == 0:
+        # Short-circuit before touching the seed: deriving entropy from a
+        # Generator below would consume a draw and mutate the caller's
+        # stream for what is a no-op.
+        return []
     if isinstance(seed, np.random.SeedSequence):
         seq = seed
     elif isinstance(seed, np.random.Generator):

@@ -1,0 +1,112 @@
+"""Circuit container: append validation, transforms, structural queries."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, Instruction
+from repro.gates import get_gate
+from repro.utils.exceptions import CircuitError
+
+
+def bell() -> Circuit:
+    return Circuit(2, name="bell").h(0).cx(0, 1)
+
+
+class TestConstruction:
+    def test_width_validated(self):
+        with pytest.raises(CircuitError):
+            Circuit(0)
+
+    def test_append_range_checked(self):
+        circuit = Circuit(2)
+        with pytest.raises(CircuitError):
+            circuit.append(get_gate("h"), (2,))
+        with pytest.raises(CircuitError):
+            circuit.cx(0, 5)
+
+    def test_append_chains_and_records_order(self):
+        circuit = bell()
+        assert len(circuit) == 2
+        assert [i.gate.name for i in circuit] == ["h", "cx"]
+        assert circuit[1].qubits == (0, 1)
+
+    def test_convenience_methods_cover_standard_library(self):
+        circuit = Circuit(3)
+        circuit.x(0).y(0).z(0).h(0).s(0).t(0)
+        circuit.rx(0.1, 1).ry(0.2, 1).rz(0.3, 1).u3(0.1, 0.2, 0.3, 1)
+        circuit.cx(0, 1).cz(1, 2).swap(0, 2)
+        assert len(circuit) == 13
+
+    def test_extend_revalidates_against_width(self):
+        wide = Circuit(3).cx(1, 2)
+        narrow = Circuit(2)
+        with pytest.raises(CircuitError):
+            narrow.extend(wide.instructions)
+
+    def test_copy_is_independent(self):
+        a = bell()
+        b = a.copy()
+        b.x(0)
+        assert len(a) == 2 and len(b) == 3
+        assert a.name == b.name
+
+
+class TestTransforms:
+    def test_compose_identity_mapping(self):
+        combined = bell().compose(Circuit(2).x(1))
+        assert [i.gate.name for i in combined] == ["h", "cx", "x"]
+
+    def test_compose_with_mapping(self):
+        big = Circuit(3)
+        combined = big.compose(bell(), qubits=(2, 0))
+        assert combined[0].qubits == (2,)
+        assert combined[1].qubits == (2, 0)
+
+    def test_compose_validates_mapping(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).compose(bell(), qubits=(0,))
+        with pytest.raises(CircuitError):
+            Circuit(2).compose(bell(), qubits=(0, 0))
+        with pytest.raises(CircuitError):
+            Circuit(1).compose(bell())
+
+    def test_inverse_reverses_and_daggers(self):
+        circuit = Circuit(1).h(0).s(0)
+        inv = circuit.inverse()
+        assert [i.gate.name for i in inv] == ["sdg", "h"]
+        # circuit ∘ inverse == identity
+        matrix = np.eye(2, dtype=complex)
+        for instruction in circuit.compose(inv):
+            matrix = instruction.gate.matrix @ matrix
+        assert np.allclose(matrix, np.eye(2), atol=1e-10)
+
+    def test_remapped(self):
+        moved = bell().remapped((1, 2), num_qubits=3)
+        assert moved.num_qubits == 3
+        assert moved[1].qubits == (1, 2)
+
+
+class TestQueries:
+    def test_depth_parallel_gates_share_a_layer(self):
+        circuit = Circuit(4).h(0).h(1).h(2).h(3)
+        assert circuit.depth() == 1
+
+    def test_depth_chains_through_shared_qubits(self):
+        circuit = Circuit(3).h(0).cx(0, 1).cx(1, 2).h(0)
+        assert circuit.depth() == 3
+        assert Circuit(2).depth() == 0
+
+    def test_count_ops(self):
+        assert bell().count_ops() == {"h": 1, "cx": 1}
+
+    def test_active_qubits(self):
+        circuit = Circuit(5).h(3).cx(3, 1)
+        assert circuit.active_qubits() == (1, 3)
+
+    def test_equality_ignores_name(self):
+        assert bell() == Circuit(2).h(0).cx(0, 1)
+        assert bell() != Circuit(2).h(0)
+
+    def test_repr_mentions_shape(self):
+        text = repr(bell())
+        assert "2 qubits" in text and "depth 2" in text

@@ -1,0 +1,95 @@
+"""Gate value-object semantics: immutability, validation, inverse."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Gate
+from repro.utils.exceptions import CircuitError
+
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+S = np.array([[1, 0], [0, 1j]], dtype=complex)
+
+
+def test_matrix_shape_validated():
+    with pytest.raises(CircuitError):
+        Gate("bad", 2, X)  # 2-qubit gate needs a 4x4 matrix
+    with pytest.raises(CircuitError):
+        Gate("bad", 1, np.eye(3))
+
+
+def test_name_and_arity_validated():
+    with pytest.raises(CircuitError):
+        Gate("", 1, X)
+    with pytest.raises(CircuitError):
+        Gate("x", 0, np.eye(1))
+
+
+def test_matrix_is_read_only_and_decoupled():
+    source = X.copy()
+    gate = Gate("x", 1, source)
+    source[0, 0] = 99  # mutating the input must not affect the gate
+    assert gate.matrix[0, 0] == 0
+    with pytest.raises(ValueError):
+        gate.matrix[0, 0] = 1
+
+
+def test_params_are_bound_floats():
+    gate = Gate("rz", 1, np.eye(2), params=(np.float64(0.5),))
+    assert gate.params == (0.5,)
+    assert isinstance(gate.params[0], float)
+
+
+def test_self_inverse_gate_keeps_name():
+    gate = Gate("x", 1, X)
+    inv = gate.inverse()
+    assert inv.name == "x"
+    assert np.allclose(inv.matrix, X)
+
+
+def test_non_self_inverse_gate_gets_dagger_suffix():
+    gate = Gate("s", 1, S)
+    inv = gate.inverse()
+    assert inv.name == "sdg"
+    assert np.allclose(inv.matrix @ S, np.eye(2))
+    assert inv.inverse().name == "s"
+
+
+def test_inverse_names_resolve_through_the_gate_library():
+    """Adjoint naming must match the registry ('sdg'/'tdg', not 's_dg')."""
+    from repro.gates import get_gate
+
+    for name in ("s", "t"):
+        inv = get_gate(name).inverse()
+        assert np.allclose(get_gate(inv.name).matrix, inv.matrix)
+        assert get_gate(inv.name).inverse().name == name
+
+
+def test_parametric_inverse_stays_registry_resolvable():
+    """(name, params) of an inverted rotation must still denote its matrix."""
+    from repro.gates import get_gate
+
+    for name, params in [
+        ("rx", (1.0,)), ("ry", (0.4,)), ("rz", (-0.7,)),
+        ("p", (0.3,)), ("u3", (0.1, 0.2, 0.3)),
+    ]:
+        gate = get_gate(name, *params)
+        inv = gate.inverse()
+        round_tripped = get_gate(inv.name, *inv.params)
+        assert np.allclose(round_tripped.matrix, gate.matrix.conj().T, atol=1e-12)
+        assert np.allclose(
+            inv.matrix @ gate.matrix, np.eye(1 << gate.num_qubits), atol=1e-12
+        )
+
+
+def test_is_unitary():
+    assert Gate("x", 1, X).is_unitary()
+    assert not Gate("proj", 1, np.array([[1, 0], [0, 0]])).is_unitary()
+
+
+def test_equality_and_hash():
+    a = Gate("x", 1, X)
+    b = Gate("x", 1, X)
+    c = Gate("s", 1, S)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c

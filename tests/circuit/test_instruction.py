@@ -1,0 +1,60 @@
+"""Instruction binding: arity/duplicate/range validation and remapping."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Gate, Instruction
+from repro.gates import get_gate
+from repro.utils.exceptions import CircuitError
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(CircuitError):
+        Instruction(get_gate("cx"), (0,))
+    with pytest.raises(CircuitError):
+        Instruction(get_gate("h"), (0, 1))
+
+
+def test_duplicate_qubits_rejected():
+    with pytest.raises(CircuitError):
+        Instruction(get_gate("cx"), (1, 1))
+
+
+def test_negative_qubits_rejected():
+    with pytest.raises(CircuitError):
+        Instruction(get_gate("h"), (-1,))
+
+
+def test_non_gate_rejected():
+    with pytest.raises(CircuitError):
+        Instruction(np.eye(2), (0,))
+
+
+def test_qubit_order_preserved():
+    instruction = Instruction(get_gate("cx"), (3, 1))
+    assert instruction.qubits == (3, 1)
+
+
+def test_inverse_inverts_gate_in_place():
+    instruction = Instruction(get_gate("s"), (2,))
+    inv = instruction.inverse()
+    assert inv.qubits == (2,)
+    assert np.allclose(inv.gate.matrix @ instruction.gate.matrix, np.eye(2))
+
+
+def test_remapped():
+    instruction = Instruction(get_gate("cx"), (0, 1))
+    moved = instruction.remapped((2, 0))
+    assert moved.qubits == (2, 0)
+    assert moved.gate is instruction.gate
+    with pytest.raises(CircuitError):
+        instruction.remapped((0,))  # mapping too short
+
+
+def test_equality():
+    a = Instruction(get_gate("h"), (0,))
+    b = Instruction(get_gate("h"), (0,))
+    c = Instruction(get_gate("h"), (1,))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c

@@ -1,0 +1,95 @@
+"""Counts mapping semantics."""
+
+import pytest
+
+from repro.sampling import Counts
+from repro.utils.exceptions import SimulationError
+
+
+def test_behaves_like_a_dict():
+    counts = Counts({"00": 3, "11": 5})
+    assert counts["11"] == 5
+    assert set(counts) == {"00", "11"}
+    assert counts.num_qubits == 2
+
+
+def test_shots_and_probabilities():
+    counts = Counts({"00": 1, "11": 3})
+    assert counts.shots == 4
+    assert counts.probabilities() == {"00": 0.25, "11": 0.75}
+    assert Counts().probabilities() == {}
+
+
+def test_zero_count_outcomes_dropped():
+    counts = Counts({"0": 0, "1": 2})
+    assert "0" not in counts
+    assert counts.shots == 2
+
+
+def test_zero_count_keys_do_not_veto_width_consistency():
+    counts = Counts({"00": 0, "111": 5})
+    assert counts == {"111": 5}
+    assert counts.num_qubits == 3
+
+
+def test_counts_is_read_only():
+    counts = Counts({"00": 3})
+    with pytest.raises(TypeError):
+        counts["banana"] = -5
+    with pytest.raises(TypeError):
+        counts.update({"00": 1})
+    with pytest.raises(TypeError):
+        del counts["00"]
+    with pytest.raises(TypeError):
+        counts |= {"xx!": -5}  # dict.__ior__ must not bypass the freeze
+    assert counts == {"00": 3}
+
+
+def test_copy_preserves_type_and_width():
+    counts = Counts({"00": 3}, num_qubits=2)
+    duplicate = counts.copy()
+    assert isinstance(duplicate, Counts)
+    assert duplicate.num_qubits == 2
+    assert duplicate.shots == 3
+
+
+def test_invalid_keys_rejected():
+    with pytest.raises(SimulationError):
+        Counts({"0x": 1})  # bad characters surface as SimulationError, not ValueError
+    with pytest.raises(SimulationError):
+        Counts({"0": 1, "00": 1})
+    with pytest.raises(SimulationError):
+        Counts({"00": -1})
+    with pytest.raises(SimulationError):
+        Counts({"00": 1}, num_qubits=3)
+
+
+def test_non_integer_counts_rejected():
+    with pytest.raises(SimulationError):
+        Counts({"0": 2.7})
+    with pytest.raises(SimulationError):
+        Counts({"0": 0.5})  # would otherwise be silently dropped
+    assert Counts({"0": 2.0}) == {"0": 2}  # integral floats are fine
+
+
+def test_most_frequent_with_tie_break():
+    assert Counts({"01": 5, "10": 2}).most_frequent() == "01"
+    assert Counts({"01": 5, "00": 5}).most_frequent() == "00"
+    with pytest.raises(SimulationError):
+        Counts().most_frequent()
+
+
+def test_int_outcomes():
+    assert Counts({"10": 7}).int_outcomes() == {2: 7}
+
+
+def test_merged():
+    merged = Counts({"00": 1}).merged(Counts({"00": 2, "11": 3}))
+    assert merged == {"00": 3, "11": 3}
+    assert merged.num_qubits == 2
+    with pytest.raises(SimulationError):
+        Counts({"0": 1}).merged(Counts({"00": 1}))
+
+
+def test_repr_shows_shots():
+    assert "shots=4" in repr(Counts({"0": 4}))

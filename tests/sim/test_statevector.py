@@ -1,0 +1,111 @@
+"""Statevector construction and queries."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Statevector
+from repro.utils.exceptions import SimulationError
+
+
+def test_zero_state():
+    state = Statevector.zero_state(3)
+    assert state.num_qubits == 3
+    assert state.probability("000") == 1.0
+    with pytest.raises(SimulationError):
+        Statevector.zero_state(0)
+
+
+def test_from_bitstring():
+    state = Statevector.from_bitstring("10")
+    assert state.amplitude("10") == 1.0
+    assert state.probability("01") == 0.0
+
+
+def test_length_must_be_power_of_two():
+    with pytest.raises(SimulationError):
+        Statevector(np.ones(3) / np.sqrt(3))
+    with pytest.raises(SimulationError):
+        Statevector(np.array([1.0]))
+
+
+def test_normalisation_validated():
+    with pytest.raises(SimulationError):
+        Statevector(np.array([1.0, 1.0]))
+    Statevector(np.array([1.0, 1.0]) / np.sqrt(2))  # ok
+
+
+def test_data_returns_copy():
+    state = Statevector.zero_state(1)
+    state.data[0] = 0
+    assert state.probability("0") == 1.0
+
+
+def test_tensor_layout_axis_q_is_qubit_q():
+    state = Statevector.from_bitstring("01")
+    tensor = state.tensor()
+    assert tensor.shape == (2, 2)
+    assert tensor[0, 1] == 1.0
+
+
+def test_tensor_view_is_read_only():
+    """tensor() must not leak a mutable handle on the internal buffer."""
+    state = Statevector.zero_state(2)
+    with pytest.raises(ValueError):
+        state.tensor()[0, 0] = 0
+    assert state.probability("00") == 1.0
+
+
+def test_probabilities_dict_drops_zeros():
+    plus = Statevector(np.array([1, 1, 0, 0]) / np.sqrt(2))
+    probs = plus.probabilities_dict()
+    assert set(probs) == {"00", "01"}
+    assert probs["00"] == pytest.approx(0.5)
+
+
+def test_amplitude_width_checked():
+    with pytest.raises(SimulationError):
+        Statevector.zero_state(2).amplitude("0")
+
+
+def test_invalid_bitstrings_raise_simulation_error():
+    """Bad bitstrings must not leak bare ValueError through the sim layer."""
+    with pytest.raises(SimulationError):
+        Statevector.from_bitstring("2x")
+    with pytest.raises(SimulationError):
+        Statevector.zero_state(2).amplitude("0x")
+
+
+def test_inner_and_fidelity():
+    zero = Statevector.zero_state(1)
+    one = Statevector.from_bitstring("1")
+    plus = Statevector(np.array([1, 1]) / np.sqrt(2))
+    assert zero.inner(one) == 0
+    assert zero.fidelity(plus) == pytest.approx(0.5)
+    with pytest.raises(SimulationError):
+        zero.inner(Statevector.zero_state(2))
+
+
+def test_expectation_z():
+    zero = Statevector.zero_state(2)
+    assert zero.expectation_z(0) == pytest.approx(1.0)
+    one = Statevector.from_bitstring("10")
+    assert one.expectation_z(0) == pytest.approx(-1.0)
+    assert one.expectation_z(1) == pytest.approx(1.0)
+
+
+def test_expectation_matrix_on_subset():
+    plus = Statevector(np.array([1, 1]) / np.sqrt(2))
+    x = np.array([[0, 1], [1, 0]], dtype=complex)
+    z = np.array([[1, 0], [0, -1]], dtype=complex)
+    assert plus.expectation(x, (0,)) == pytest.approx(1.0)
+    assert plus.expectation(z, (0,)) == pytest.approx(0.0)
+
+
+def test_expectation_validates_operator_and_qubits():
+    state = Statevector.zero_state(2)
+    with pytest.raises(SimulationError):
+        state.expectation(np.eye(2), (5,))
+    with pytest.raises(SimulationError):
+        state.expectation(np.eye(4), (0,))
+    with pytest.raises(SimulationError):
+        state.expectation(np.eye(4), (0, 0))  # duplicates must not leak ValueError

@@ -1,0 +1,57 @@
+"""End-to-end acceptance: GHZ through all four layers, public API surface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Circuit, run, sample_counts
+
+
+def ghz(n: int = 3) -> Circuit:
+    circuit = Circuit(n, name=f"ghz{n}")
+    circuit.h(0)
+    for q in range(n - 1):
+        circuit.cx(q, q + 1)
+    return circuit
+
+
+def test_ghz_statevector_is_correct():
+    state = run(ghz(3))
+    expected = np.zeros(8, dtype=complex)
+    expected[0] = expected[7] = 1 / np.sqrt(2)
+    assert np.allclose(state.data, expected, atol=1e-10)
+    assert state.probabilities_dict() == pytest.approx({"000": 0.5, "111": 0.5})
+
+
+def test_ghz_sampling_reproducible_and_only_extreme_outcomes():
+    counts = sample_counts(ghz(3), shots=4096, seed=1234)
+    assert set(counts) == {"000", "111"}
+    assert counts.shots == 4096
+    for _ in range(3):
+        assert sample_counts(ghz(3), shots=4096, seed=1234) == counts
+
+
+def test_ghz_entanglement_witness():
+    state = run(ghz(3))
+    # <Z0 Z1> = 1 for GHZ while each single <Zq> = 0.
+    zz = np.diag([1, -1, -1, 1]).astype(complex)
+    assert state.expectation(zz, (0, 1)) == pytest.approx(1.0)
+    for q in range(3):
+        assert state.expectation_z(q) == pytest.approx(0.0)
+
+
+def test_public_api_exports_all_layers():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+    # one representative per layer
+    assert repro.Circuit and repro.get_gate and repro.StatevectorBackend
+    assert repro.sample_counts and repro.ensure_rng
+
+
+def test_bell_quickstart_from_readme():
+    """Keep in sync with the README quick-start example."""
+    bell = Circuit(2, name="bell").h(0).cx(0, 1)
+    state = run(bell)
+    assert state.probability("00") == pytest.approx(0.5)
+    counts = sample_counts(bell, shots=1000, seed=42)
+    assert set(counts) == {"00", "11"}

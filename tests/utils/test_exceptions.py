@@ -1,0 +1,43 @@
+"""The exception hierarchy: every subsystem error is a ReproError."""
+
+import pytest
+
+from repro.utils.exceptions import (
+    CharterError,
+    CircuitError,
+    NoiseModelError,
+    ReproError,
+    SimulationError,
+    TranspilerError,
+)
+
+SUBSYSTEM_ERRORS = [
+    CircuitError,
+    TranspilerError,
+    SimulationError,
+    NoiseModelError,
+    CharterError,
+]
+
+
+@pytest.mark.parametrize("exc", SUBSYSTEM_ERRORS)
+def test_subsystem_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    assert issubclass(exc, Exception)
+
+
+@pytest.mark.parametrize("exc", SUBSYSTEM_ERRORS)
+def test_catching_repro_error_catches_subsystem_error(exc):
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_does_not_mask_programming_errors():
+    assert not issubclass(ReproError, (TypeError, ValueError))
+
+
+def test_all_exceptions_importable_from_package_root():
+    import repro
+
+    for exc in SUBSYSTEM_ERRORS + [ReproError]:
+        assert getattr(repro, exc.__name__) is exc

@@ -1,0 +1,85 @@
+"""RNG plumbing: normalisation, determinism, spawn independence."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs, spawn_seeds
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(123).random(8)
+        b = ensure_rng(123).random(8)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        a = ensure_rng(np.random.SeedSequence(7)).random(4)
+        b = ensure_rng(seq).random(4)
+        assert np.array_equal(a, b)
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawnSeeds:
+    def test_deterministic_for_int_seed(self):
+        assert spawn_seeds(42, 5) == spawn_seeds(42, 5)
+
+    def test_children_are_distinct(self):
+        seeds = spawn_seeds(42, 50)
+        assert len(set(seeds)) == 50
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_zero_count_returns_empty(self):
+        assert spawn_seeds(42, 0) == []
+
+    def test_zero_count_does_not_consume_generator_stream(self):
+        """spawn_seeds(gen, 0) must be a true no-op on the caller's stream."""
+        rng = np.random.default_rng(7)
+        reference = np.random.default_rng(7).random(4)
+        assert spawn_seeds(rng, 0) == []
+        assert np.array_equal(rng.random(4), reference)
+
+    def test_spawned_streams_are_independent(self):
+        rngs = spawn_rngs(1, 2)
+        a = rngs[0].random(100)
+        b = rngs[1].random(100)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_rngs_matches_spawn_seeds(self):
+        seeds = spawn_seeds(9, 3)
+        expected = [np.random.default_rng(s).random() for s in seeds]
+        got = [rng.random() for rng in spawn_rngs(9, 3)]
+        assert got == expected
+
+
+class TestDeriveSeed:
+    def test_none_propagates(self):
+        assert derive_seed(None, 0) is None
+        assert derive_seed(None) is None
+
+    def test_deterministic(self):
+        assert derive_seed(5, 1, 2) == derive_seed(5, 1, 2)
+
+    def test_components_change_result(self):
+        base = derive_seed(5, 0)
+        assert derive_seed(5, 1) != base
+        assert derive_seed(6, 0) != base
+
+    def test_exported_from_utils_package(self):
+        import repro.utils as utils
+
+        assert "derive_seed" in utils.__all__
+        assert utils.derive_seed is derive_seed
