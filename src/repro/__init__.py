@@ -2,20 +2,44 @@
 
 Layering (each layer depends only on the ones above it)::
 
-    repro.utils     exceptions, RNG plumbing, bitstring conventions
-    repro.circuit   gate-instruction IR (Gate, Instruction, Circuit)
-    repro.gates     registry-backed standard gate library
-    repro.sim       vectorised statevector backend
-    repro.sampling  shot sampling -> Counts
+    repro.utils      exceptions, RNG plumbing, bitstring conventions
+    repro.circuit    gate-instruction IR (Gate, Instruction, Circuit)
+    repro.gates      registry-backed standard gate library + unitary gates
+    repro.transpile  pass-manager optimisation (fusion, cancellation)
+    repro.sim        vectorised statevector backend
+    repro.sampling   shot sampling -> Counts
+    repro.bench      benchmark workloads + JSON-reporting harness
 
 The public API re-exported here is the supported surface; module internals
 may move between PRs.
 """
 
+from repro.bench import run_suite
 from repro.circuit import Circuit, Gate, Instruction
-from repro.gates import available_gates, gate_arity, get_gate, register_gate
+from repro.gates import (
+    available_gates,
+    gate_arity,
+    get_gate,
+    register_gate,
+    unitary_gate,
+)
 from repro.sampling import Counts, sample_counts, sample_memory
 from repro.sim import Statevector, StatevectorBackend, run
+
+# NB: re-exporting the ``transpile`` *function* shadows the ``repro.transpile``
+# submodule attribute on this package (``repro.transpile(circuit)`` works;
+# ``import repro.transpile`` still works too, but attribute access on the
+# package resolves to the function).  This mirrors qiskit's ``transpile``
+# ergonomics and is deliberate — reach submodule internals via
+# ``from repro.transpile import ...``.
+from repro.transpile import (
+    CancelInversePairs,
+    DropIdentities,
+    FuseAdjacentGates,
+    Pass,
+    PassManager,
+    transpile,
+)
 from repro.utils import (
     CharterError,
     CircuitError,
@@ -35,7 +59,7 @@ from repro.utils import (
     spawn_seeds,
 )
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "__version__",
@@ -48,6 +72,14 @@ __all__ = [
     "gate_arity",
     "get_gate",
     "register_gate",
+    "unitary_gate",
+    # transpilation
+    "CancelInversePairs",
+    "DropIdentities",
+    "FuseAdjacentGates",
+    "Pass",
+    "PassManager",
+    "transpile",
     # simulation
     "Statevector",
     "StatevectorBackend",
@@ -56,6 +88,8 @@ __all__ = [
     "Counts",
     "sample_counts",
     "sample_memory",
+    # benchmarks
+    "run_suite",
     # utils: exceptions
     "ReproError",
     "CircuitError",

@@ -1,0 +1,27 @@
+"""Benchmark harness: canonical workloads timed with and without fusion.
+
+``run_suite`` executes each workload unfused and transpiled, records
+wall-times, gate counts and a seeded counts-equivalence check, and
+returns a JSON-stable report (``schema_version`` 1).  ``python -m
+repro.bench --json`` is the CLI entry point; ``--smoke`` selects the
+small configuration CI runs on every push.
+"""
+
+from repro.bench.harness import SCHEMA_VERSION, run_suite
+from repro.bench.workloads import (
+    Workload,
+    default_workloads,
+    ghz,
+    layered_rotations,
+    random_dense,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Workload",
+    "default_workloads",
+    "ghz",
+    "layered_rotations",
+    "random_dense",
+    "run_suite",
+]

@@ -1,0 +1,90 @@
+"""CLI for the benchmark suite: ``python -m repro.bench [--json] [--smoke]``.
+
+Prints a human-readable table by default, the schema-1 JSON report with
+``--json``.  Exits non-zero if any workload's fused execution fails the
+seeded counts-equivalence check — CI treats that as a correctness
+regression, not a slow run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.harness import run_suite
+
+
+def _format_table(report: dict) -> str:
+    header = (
+        f"{'workload':<20} {'n':>3} {'gates':>11} {'depth':>9} "
+        f"{'t_unfused':>10} {'t_fused':>10} {'speedup':>8} {'counts':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in report["workloads"]:
+        lines.append(
+            f"{row['name']:<20} {row['num_qubits']:>3} "
+            f"{row['gates_unfused']:>4}->{row['gates_fused']:<5} "
+            f"{row['depth_unfused']:>3}->{row['depth_fused']:<4} "
+            f"{row['run_time_unfused_s']:>10.2g} {row['run_time_fused_s']:>10.2g} "
+            f"{row['speedup']:>7.2f}x {'ok' if row['counts_match'] else 'FAIL':>7}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark the statevector backend with and without gate fusion.",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the schema-1 JSON report on stdout"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small/fast CI configuration (fewer qubits, single repeat)",
+    )
+    parser.add_argument("--shots", type=int, default=1024, help="shots for the counts check")
+    parser.add_argument("--seed", type=int, default=1234, help="sampling seed")
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats (default 3, 1 with --smoke)"
+    )
+    parser.add_argument(
+        "--max-fused-width", type=int, default=2, help="fusion width cap (qubits)"
+    )
+    parser.add_argument(
+        "--out", type=str, default=None, help="also write the JSON report to this path"
+    )
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
+    report = run_suite(
+        smoke=args.smoke,
+        shots=args.shots,
+        seed=args.seed,
+        repeats=repeats,
+        max_fused_width=args.max_fused_width,
+    )
+
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    if args.json:
+        print(payload)
+    else:
+        print(_format_table(report))
+
+    mismatched = [w["name"] for w in report["workloads"] if not w["counts_match"]]
+    if mismatched:
+        print(
+            f"counts mismatch after fusion: {', '.join(mismatched)}", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

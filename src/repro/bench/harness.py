@@ -1,0 +1,132 @@
+"""The bench driver: time each workload unfused vs. transpiled.
+
+Report schema (``schema_version`` 1) — stable from this PR onward so CI
+artifacts stay comparable across commits::
+
+    {
+      "schema_version": 1,
+      "config": {"smoke": bool, "shots": int, "seed": int,
+                 "repeats": int, "max_fused_width": int},
+      "workloads": [
+        {
+          "name": str, "num_qubits": int,
+          "gates_unfused": int, "gates_fused": int,
+          "depth_unfused": int, "depth_fused": int,
+          "transpile_time_s": float,
+          "run_time_unfused_s": float, "run_time_fused_s": float,
+          "speedup": float,            # unfused / fused wall-time
+          "counts_match": bool         # seeded sampling equivalence
+        }, ...
+      ]
+    }
+
+Wall-times are best-of-``repeats`` ``perf_counter`` measurements of the
+simulation alone (circuit construction and transpilation are timed
+separately), so the headline number isolates the amplitude-array sweeps
+that fusion is meant to reduce.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench.workloads import Workload, default_workloads
+from repro.circuit import Circuit
+from repro.sampling import sample_counts
+from repro.sim import StatevectorBackend
+from repro.transpile import transpile
+
+SCHEMA_VERSION = 1
+
+
+def _best_time(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_workload(
+    workload: Workload,
+    backend: StatevectorBackend,
+    shots: int,
+    seed: int,
+    repeats: int,
+    max_fused_width: int,
+) -> Dict[str, object]:
+    circuit: Circuit = workload.build()
+
+    start = time.perf_counter()
+    fused = transpile(circuit, max_fused_width=max_fused_width)
+    transpile_time = time.perf_counter() - start
+
+    run_unfused = _best_time(lambda: backend.run(circuit), repeats)
+    run_fused = _best_time(lambda: backend.run(fused), repeats)
+
+    counts_match = sample_counts(circuit, shots, seed=seed) == sample_counts(
+        fused, shots, seed=seed
+    )
+
+    return {
+        "name": workload.name,
+        "num_qubits": workload.num_qubits,
+        "gates_unfused": len(circuit),
+        "gates_fused": len(fused),
+        "depth_unfused": circuit.depth(),
+        "depth_fused": fused.depth(),
+        "transpile_time_s": transpile_time,
+        "run_time_unfused_s": run_unfused,
+        "run_time_fused_s": run_fused,
+        "speedup": run_unfused / run_fused if run_fused > 0 else float("inf"),
+        "counts_match": bool(counts_match),
+    }
+
+
+def run_suite(
+    workloads: Optional[Sequence[Workload]] = None,
+    smoke: bool = False,
+    shots: int = 1024,
+    seed: int = 1234,
+    repeats: int = 3,
+    max_fused_width: int = 2,
+) -> Dict[str, object]:
+    """Run the benchmark suite and return the schema-1 report dict.
+
+    Parameters
+    ----------
+    workloads:
+        Explicit workload list; defaults to :func:`default_workloads`
+        at full or ``smoke`` size.
+    smoke:
+        Small/fast configuration for CI gating (fewer qubits, one repeat
+        unless ``repeats`` is overridden by the caller).
+    shots, seed:
+        Sampling configuration for the counts-equivalence check; the same
+        seed is used for the unfused and fused run so the Counts must be
+        identical.
+    repeats:
+        Wall-times are the best of this many runs.
+    max_fused_width:
+        Width cap handed to the default transpile pipeline.
+    """
+    if workloads is None:
+        workloads = default_workloads(smoke=smoke)
+    backend = StatevectorBackend()
+    results: List[Dict[str, object]] = [
+        _bench_workload(w, backend, shots, seed, repeats, max_fused_width)
+        for w in workloads
+    ]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "smoke": bool(smoke),
+            "shots": int(shots),
+            "seed": int(seed),
+            "repeats": int(repeats),
+            "max_fused_width": int(max_fused_width),
+        },
+        "workloads": results,
+    }

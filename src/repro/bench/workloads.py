@@ -1,0 +1,120 @@
+"""Canonical benchmark circuits.
+
+Three families spanning the fusion spectrum:
+
+* ``ghz`` — entangling CX chain, almost nothing for fusion to merge;
+  the floor case.
+* ``layered_rotations`` — QFT-like layers of per-qubit Euler rotations
+  (rz·ry·rz) separated by CX brickwork; the dense single-qubit runs are
+  exactly what :class:`~repro.transpile.FuseAdjacentGates` collapses.
+* ``random_dense`` — seeded random mix of one- and two-qubit gates; the
+  "typical workload" middle ground.
+
+Each family is exposed both as a plain circuit builder and, via
+:func:`default_workloads`, as named :class:`Workload` entries with the
+sizes the suite runs at (n = 8..16 full, smaller for ``--smoke``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.circuit import Circuit
+from repro.utils.rng import ensure_rng
+
+
+class Workload:
+    """A named, deterministic circuit factory for the bench suite."""
+
+    __slots__ = ("name", "num_qubits", "_build")
+
+    def __init__(self, name: str, num_qubits: int, build: Callable[[], Circuit]) -> None:
+        self.name = name
+        self.num_qubits = num_qubits
+        self._build = build
+
+    def build(self) -> Circuit:
+        return self._build()
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name}, n={self.num_qubits})"
+
+
+def ghz(num_qubits: int) -> Circuit:
+    """The ``n``-qubit GHZ preparation: H then a CX chain."""
+    circuit = Circuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for q in range(num_qubits - 1):
+        circuit.cx(q, q + 1)
+    return circuit
+
+
+def layered_rotations(num_qubits: int, layers: int = 4, seed: int = 7) -> Circuit:
+    """QFT-like layered circuit: per-qubit rz·ry·rz runs + CX brickwork.
+
+    Angles are drawn from a seeded generator so the same ``(n, layers,
+    seed)`` always builds the identical circuit.
+    """
+    rng = ensure_rng(seed)
+    circuit = Circuit(num_qubits, name=f"layered_rotations_{num_qubits}")
+    for layer in range(layers):
+        for q in range(num_qubits):
+            a, b, c = rng.uniform(0.0, 6.283185307179586, size=3)
+            circuit.rz(a, q).ry(b, q).rz(c, q)
+        offset = layer % 2
+        for q in range(offset, num_qubits - 1, 2):
+            circuit.cx(q, q + 1)
+    return circuit
+
+
+def random_dense(num_qubits: int, num_gates: int = 120, seed: int = 11) -> Circuit:
+    """Seeded random circuit mixing one- and two-qubit standard gates."""
+    rng = ensure_rng(seed)
+    one_qubit = ("h", "x", "s", "t")
+    rotations = ("rx", "ry", "rz")
+    two_qubit = ("cx", "cz", "swap")
+    circuit = Circuit(num_qubits, name=f"random_dense_{num_qubits}")
+    for _ in range(num_gates):
+        kind = rng.random()
+        if kind < 0.35:
+            name = one_qubit[int(rng.integers(len(one_qubit)))]
+            getattr(circuit, name)(int(rng.integers(num_qubits)))
+        elif kind < 0.7:
+            name = rotations[int(rng.integers(len(rotations)))]
+            getattr(circuit, name)(
+                float(rng.uniform(0.0, 6.283185307179586)),
+                int(rng.integers(num_qubits)),
+            )
+        else:
+            name = two_qubit[int(rng.integers(len(two_qubit)))]
+            a = int(rng.integers(num_qubits))
+            b = int(rng.integers(num_qubits - 1))
+            if b >= a:
+                b += 1
+            getattr(circuit, name)(a, b)
+    return circuit
+
+
+def default_workloads(smoke: bool = False) -> List[Workload]:
+    """The suite's workload list: 3 families x sizes (small for smoke)."""
+    sizes: Tuple[int, ...] = (4, 6) if smoke else (8, 12, 16)
+    layers = 2 if smoke else 4
+    gates_per_qubit = 6 if smoke else 12
+    workloads: List[Workload] = []
+    for n in sizes:
+        workloads.append(Workload("ghz", n, lambda n=n: ghz(n)))
+        workloads.append(
+            Workload(
+                "layered_rotations",
+                n,
+                lambda n=n: layered_rotations(n, layers=layers),
+            )
+        )
+        workloads.append(
+            Workload(
+                "random_dense",
+                n,
+                lambda n=n: random_dense(n, num_gates=gates_per_qubit * n),
+            )
+        )
+    return workloads

@@ -215,6 +215,17 @@ class Circuit:
     def u3(self, theta: float, phi: float, lam: float, qubit: int) -> "Circuit":
         return self._append_std("u3", (qubit,), theta, phi, lam)
 
+    def unitary(self, matrix, qubits: Sequence[int]) -> "Circuit":
+        """Append an explicit-matrix ``unitary`` gate on ``qubits``.
+
+        ``matrix`` must be a unitary of dimension ``2**len(qubits)``;
+        ``qubits[0]`` is its most significant index bit, as for every
+        multi-qubit gate.
+        """
+        from repro.gates import unitary_gate
+
+        return self.append(unitary_gate(matrix), tuple(qubits))
+
     def cx(self, control: int, target: int) -> "Circuit":
         return self._append_std("cx", (control, target))
 

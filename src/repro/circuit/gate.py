@@ -8,7 +8,7 @@ gates can be shared freely between circuits and cached by the gate library.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -12,6 +12,7 @@ from repro.gates.registry import (
     get_gate,
     register_gate,
 )
+from repro.gates.unitary import unitary_gate
 from repro.gates import library as _library  # registers the standard gates
 
 __all__ = [
@@ -19,6 +20,7 @@ __all__ = [
     "gate_arity",
     "get_gate",
     "register_gate",
+    "unitary_gate",
 ]
 
 del _library

@@ -1,0 +1,49 @@
+"""Explicit-matrix ``unitary`` gates: arbitrary unitaries outside the registry.
+
+The registry maps a *name* plus bound parameters to a matrix; a unitary
+gate is the opposite direction — a caller (user code, or the fusion pass)
+already has the matrix and just needs it carried through the IR.  Such
+gates are not registered: two ``unitary`` gates compare equal only if
+their matrices match element-wise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.gate import Gate
+from repro.utils.exceptions import CircuitError
+
+_ATOL = 1e-8
+
+
+def unitary_gate(
+    matrix: np.ndarray, name: str = "unitary", validate: bool = True, atol: float = _ATOL
+) -> Gate:
+    """Wrap an explicit ``2**k x 2**k`` matrix as a :class:`Gate`.
+
+    Parameters
+    ----------
+    matrix:
+        The unitary; its width determines the gate arity (the matrix must
+        be square with a power-of-two dimension >= 2).
+    name:
+        Gate mnemonic, ``"unitary"`` by default.
+    validate:
+        When true (default), reject matrices that are not unitary within
+        ``atol``.  Internal callers composing products of known unitaries
+        (e.g. gate fusion) pass ``False`` to skip the O(8**k) check.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise CircuitError(f"unitary matrix must be square, got shape {matrix.shape}")
+    dim = matrix.shape[0]
+    num_qubits = int(dim).bit_length() - 1
+    if dim < 2 or (1 << num_qubits) != dim:
+        raise CircuitError(
+            f"unitary matrix dimension {dim} is not a power of two >= 2"
+        )
+    gate = Gate(name, num_qubits, matrix)
+    if validate and not gate.is_unitary(atol=atol):
+        raise CircuitError(f"matrix is not unitary within atol={atol}")
+    return gate

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Mapping
 
 from repro.utils.bitstrings import bitstring_to_index
 from repro.utils.exceptions import SimulationError

@@ -9,7 +9,7 @@ cost O(4**n) memory and time.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -62,16 +62,30 @@ class StatevectorBackend:
         self,
         circuit: Circuit,
         initial_state: Union[None, str, Statevector] = None,
+        optimize: bool = False,
+        passes=None,
     ) -> Statevector:
         """Simulate ``circuit`` and return the final :class:`Statevector`.
 
         ``initial_state`` may be ``None`` (``|0...0>``), a bitstring, or an
-        existing :class:`Statevector` of matching width.
+        existing :class:`Statevector` of matching width.  With
+        ``optimize=True`` the circuit is first rewritten through the
+        default :func:`repro.transpile.transpile` pipeline (identity
+        drops, inverse-pair cancellation, gate fusion); ``passes``
+        supplies a custom pipeline (a :class:`~repro.transpile.PassManager`
+        or a sequence of passes) and implies optimisation.
         """
         if not isinstance(circuit, Circuit):
             raise SimulationError(
                 f"expected a Circuit, got {type(circuit).__name__}"
             )
+        if optimize or passes is not None:
+            # Imported lazily: the transpiler consumes the same circuit IR
+            # this backend executes, and a module-level import either way
+            # would create a cycle once transpile utilities touch sim.
+            from repro.transpile import transpile
+
+            circuit = transpile(circuit, passes=passes)
         n = circuit.num_qubits
         if initial_state is None:
             state = np.zeros((2,) * n, dtype=self._dtype)
@@ -110,7 +124,10 @@ _DEFAULT_BACKEND = StatevectorBackend()
 
 
 def run(
-    circuit: Circuit, initial_state: Union[None, str, Statevector] = None
+    circuit: Circuit,
+    initial_state: Union[None, str, Statevector] = None,
+    optimize: bool = False,
+    passes=None,
 ) -> Statevector:
     """Simulate ``circuit`` on the shared default :class:`StatevectorBackend`."""
-    return _DEFAULT_BACKEND.run(circuit, initial_state)
+    return _DEFAULT_BACKEND.run(circuit, initial_state, optimize=optimize, passes=passes)

@@ -1,0 +1,109 @@
+"""Cheap instruction-stream cleanups: identity drops and inverse-pair cancels."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.circuit import Circuit, Gate, Instruction
+from repro.transpile.base import Pass
+from repro.utils.exceptions import TranspilerError
+
+
+class DropIdentities(Pass):
+    """Remove gates whose matrix is the identity within tolerance.
+
+    Catches zero-angle rotations (``rz(0)``, ``rx(0)``...), explicit
+    ``id`` gates, and user unitaries that happen to be trivial.  By
+    default only exact (phase-free) identities are dropped so the pass
+    preserves the statevector bit-for-bit; ``up_to_global_phase=True``
+    additionally drops ``e^{i\\phi} I`` gates (e.g. ``rz(2*pi) = -I``),
+    which changes the state only by an unobservable global phase.
+    """
+
+    def __init__(self, atol: float = 1e-9, up_to_global_phase: bool = False) -> None:
+        if atol < 0:
+            raise TranspilerError(f"atol must be non-negative, got {atol}")
+        self.atol = float(atol)
+        self.up_to_global_phase = bool(up_to_global_phase)
+
+    def _is_droppable(self, matrix: np.ndarray) -> bool:
+        # rtol=0: np.allclose's default relative tolerance (1e-5) would
+        # silently dominate a tight atol and drop measurably non-trivial
+        # gates; the advertised tolerance must be absolute and exact.
+        dim = matrix.shape[0]
+        eye = np.eye(dim)
+        if np.allclose(matrix, eye, rtol=0.0, atol=self.atol):
+            return True
+        if self.up_to_global_phase:
+            phase = matrix[0, 0]
+            return abs(abs(phase) - 1.0) <= self.atol and np.allclose(
+                matrix, phase * eye, rtol=0.0, atol=self.atol
+            )
+        return False
+
+    def run(self, circuit: Circuit) -> Circuit:
+        out = Circuit(circuit.num_qubits, circuit.name)
+        for instruction in circuit:
+            if not self._is_droppable(instruction.gate.matrix):
+                out.append(instruction.gate, instruction.qubits)
+        return out
+
+
+class CancelInversePairs(Pass):
+    """Cancel adjacent gate pairs that compose to the identity.
+
+    "Adjacent" is causal, not positional: a gate cancels against the most
+    recent surviving gate touching any of its qubits, provided that gate
+    sits on exactly the same qubit tuple — anything emitted in between is
+    then supported on disjoint qubits and commutes past the pair.  The
+    registry's inverse rules (``s``/``sdg``, ``rx(t)``/``rx(-t)``...)
+    give a fast name-level match; pairs the registry does not know fall
+    back to a numeric ``U2 @ U1 == I`` check, so ``h·h`` and ``cx·cx``
+    cancel too.  Cancellations cascade (``h h h h`` vanishes entirely).
+    """
+
+    def __init__(self, atol: float = 1e-9) -> None:
+        if atol < 0:
+            raise TranspilerError(f"atol must be non-negative, got {atol}")
+        self.atol = float(atol)
+
+    def _are_inverse(self, first: Gate, second: Gate) -> bool:
+        """True when ``second`` applied after ``first`` is the identity."""
+        if first.num_qubits != second.num_qubits:
+            return False
+        from repro.gates.registry import resolve_inverse
+
+        candidate = resolve_inverse(first.name, first.params)
+        if candidate is not None and candidate == second:
+            return True
+        dim = first.matrix.shape[0]
+        # rtol=0 as in DropIdentities: the tolerance is absolute.
+        return bool(
+            np.allclose(
+                second.matrix @ first.matrix, np.eye(dim), rtol=0.0, atol=self.atol
+            )
+        )
+
+    def run(self, circuit: Circuit) -> Circuit:
+        kept: List[Instruction] = []
+        for instruction in circuit:
+            blocker: Optional[int] = None
+            qubits = set(instruction.qubits)
+            for i in range(len(kept) - 1, -1, -1):
+                if qubits & set(kept[i].qubits):
+                    blocker = i
+                    break
+            if (
+                blocker is not None
+                and kept[blocker].qubits == instruction.qubits
+                and self._are_inverse(kept[blocker].gate, instruction.gate)
+            ):
+                kept.pop(blocker)
+            else:
+                kept.append(instruction)
+        out = Circuit(circuit.num_qubits, circuit.name)
+        for instruction in kept:
+            out.append(instruction.gate, instruction.qubits)
+        return out

@@ -1,0 +1,143 @@
+"""Gate fusion: merge runs of adjacent gates into explicit unitaries.
+
+The payoff is in the simulator's cost model: applying a ``k``-qubit gate
+to an ``n``-qubit statevector costs O(2**n * 2**k), so collapsing ``m``
+small adjacent gates into one fused unitary replaces ``m`` sweeps over
+the 2**n amplitude array with a single sweep — the matrix products that
+build the fused gate happen in the tiny ``2**k``-dimensional gate space,
+off the hot path entirely.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuit import Circuit, Instruction
+from repro.transpile.base import Pass
+from repro.utils.exceptions import TranspilerError
+
+
+def embed_matrix(
+    matrix: np.ndarray, positions: Sequence[int], width: int
+) -> np.ndarray:
+    """Embed a ``k``-qubit gate matrix into a ``width``-qubit operator.
+
+    ``positions[i]`` is the index-bit slot (0 = most significant, matching
+    the library convention) that gate qubit ``i`` occupies in the widened
+    operator; all other slots act as identity.
+    """
+    k = len(positions)
+    if width < k:
+        raise TranspilerError(f"cannot embed {k} qubits into width {width}")
+    if sorted(positions) != sorted(set(positions)) or any(
+        p < 0 or p >= width for p in positions
+    ):
+        raise TranspilerError(
+            f"invalid embedding positions {tuple(positions)} for width {width}"
+        )
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (1 << k, 1 << k):
+        raise TranspilerError(
+            f"matrix shape {matrix.shape} does not match {k} embedding position(s)"
+        )
+    if k == width and tuple(positions) == tuple(range(width)):
+        return matrix
+    # Treat the identity on the widened space as a (2,)*(2*width) tensor
+    # (output axes first) and contract the gate onto the output axes at
+    # ``positions`` — the same contraction the simulator uses on states.
+    full = np.eye(1 << width, dtype=complex).reshape((2,) * (2 * width))
+    gate = matrix.reshape((2,) * (2 * k))
+    full = np.tensordot(gate, full, axes=(tuple(range(k, 2 * k)), tuple(positions)))
+    full = np.moveaxis(full, tuple(range(k)), tuple(positions))
+    return full.reshape(1 << width, 1 << width)
+
+
+class _FusionGroup:
+    """Accumulator for one run of overlapping instructions."""
+
+    __slots__ = ("qubits", "matrix", "members")
+
+    def __init__(self, instruction: Instruction) -> None:
+        self.qubits: List[int] = list(instruction.qubits)
+        self.matrix: np.ndarray = np.asarray(instruction.gate.matrix, dtype=complex)
+        self.members: List[Instruction] = [instruction]
+
+    def union_with(self, instruction: Instruction) -> List[int]:
+        return self.qubits + [q for q in instruction.qubits if q not in self.qubits]
+
+    def absorb(self, instruction: Instruction, union: List[int]) -> None:
+        if len(union) > len(self.qubits):
+            # Existing qubits keep their slots (a prefix of ``union``), so
+            # widening is a plain kron with identity on the new low bits.
+            grow = len(union) - len(self.qubits)
+            self.matrix = np.kron(self.matrix, np.eye(1 << grow, dtype=complex))
+            self.qubits = union
+        positions = [self.qubits.index(q) for q in instruction.qubits]
+        incoming = embed_matrix(instruction.gate.matrix, positions, len(self.qubits))
+        # ``instruction`` runs after the accumulated run: left-multiply.
+        self.matrix = incoming @ self.matrix
+        self.members.append(instruction)
+
+
+class FuseAdjacentGates(Pass):
+    """Greedily merge program-order runs of overlapping gates.
+
+    Walking the instruction list once, each instruction joins the current
+    fusion group when it shares at least one qubit with it and the merged
+    support stays within ``max_width`` qubits; otherwise the group is
+    flushed and a new one starts.  Groups that captured two or more gates
+    are emitted as a single explicit-matrix ``unitary`` instruction over
+    the group's qubits (first-touch order); singleton groups pass through
+    unchanged so un-fusable circuits come back structurally identical.
+
+    ``max_width`` trades fused-matrix cost (``4**max_width`` entries)
+    against amplitude-array sweeps saved; 2 is a good default for the
+    tensordot backend.
+    """
+
+    def __init__(self, max_width: int = 2) -> None:
+        if max_width < 1:
+            raise TranspilerError(f"max_width must be >= 1, got {max_width}")
+        self.max_width = int(max_width)
+
+    def run(self, circuit: Circuit) -> Circuit:
+        from repro.gates import unitary_gate
+
+        out = Circuit(circuit.num_qubits, circuit.name)
+        group: Optional[_FusionGroup] = None
+
+        def flush() -> None:
+            nonlocal group
+            if group is None:
+                return
+            if len(group.members) == 1:
+                instruction = group.members[0]
+                out.append(instruction.gate, instruction.qubits)
+            else:
+                out.append(
+                    unitary_gate(group.matrix, validate=False), tuple(group.qubits)
+                )
+            group = None
+
+        for instruction in circuit:
+            if len(instruction.qubits) > self.max_width:
+                flush()
+                out.append(instruction.gate, instruction.qubits)
+                continue
+            if group is None:
+                group = _FusionGroup(instruction)
+                continue
+            union = group.union_with(instruction)
+            overlaps = len(union) < len(group.qubits) + len(instruction.qubits)
+            if overlaps and len(union) <= self.max_width:
+                group.absorb(instruction, union)
+            else:
+                flush()
+                group = _FusionGroup(instruction)
+        flush()
+        return out
+
+    def __repr__(self) -> str:
+        return f"FuseAdjacentGates(max_width={self.max_width})"

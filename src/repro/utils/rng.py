@@ -1,11 +1,11 @@
 """Deterministic random-number-generator plumbing.
 
-All stochastic components of the library (calibration synthesis, trajectory
-simulation, shot sampling, random circuit generation) accept either an integer
-seed, an existing :class:`numpy.random.Generator`, or ``None``.  ``ensure_rng``
-normalises these into a ``Generator``.  ``spawn_rngs``/``spawn_seeds`` derive
+All stochastic components of the library (shot sampling, random circuit
+generation, benchmark workloads) accept either an integer seed, an existing
+:class:`numpy.random.Generator`, or ``None``.  ``ensure_rng`` normalises
+these into a ``Generator``.  ``spawn_rngs``/``spawn_seeds`` derive
 independent child streams so that work farmed out to worker processes stays
-reproducible regardless of scheduling order (see ``repro.parallel``).
+reproducible regardless of scheduling order.
 """
 
 from __future__ import annotations
@@ -36,10 +36,14 @@ def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
 
 
 def spawn_seeds(seed: SeedLike, count: int) -> Sequence[int]:
-    """Derive ``count`` independent integer seeds from ``seed``.
+    """Derive ``count`` statistically independent integer seeds from ``seed``.
 
-    Integer seeds (rather than Generators) are returned because they are cheap
-    to pickle across process boundaries.
+    Children are spawned through :class:`numpy.random.SeedSequence`, so the
+    same ``(seed, count)`` always yields the same list and distinct children
+    never collide.  Integer seeds (rather than Generators) are returned
+    because they are cheap to pickle across process boundaries.  Note that
+    passing a ``Generator`` consumes one draw from its stream to derive the
+    child entropy; ``count == 0`` short-circuits and consumes nothing.
     """
     if count < 0:
         raise ValueError("count must be non-negative")
@@ -65,11 +69,15 @@ def spawn_rngs(seed: SeedLike, count: int) -> Sequence[np.random.Generator]:
 
 
 def derive_seed(seed: Optional[int], *components: int) -> Optional[int]:
-    """Mix ``components`` into ``seed`` to obtain a stable derived seed.
+    """Mix integer ``components`` into ``seed`` to obtain a stable derived seed.
 
-    Used to give each (circuit, repetition) pair its own stream without the
-    caller having to pre-spawn every seed.  Returns ``None`` if ``seed`` is
-    ``None`` (i.e. non-deterministic mode propagates).
+    The components become the :class:`~numpy.random.SeedSequence` spawn key,
+    so the mapping is pure: the same ``(seed, *components)`` always returns
+    the same derived seed, different component tuples give independent
+    streams, and no global state is consumed.  Used to give each
+    ``(experiment, repetition)`` pair its own stream without the caller
+    having to pre-spawn every seed.  Returns ``None`` if ``seed`` is ``None``
+    (i.e. non-deterministic mode propagates).
     """
     if seed is None:
         return None

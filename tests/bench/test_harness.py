@@ -1,0 +1,125 @@
+"""Tests for the bench harness and its CLI."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+from repro.bench import SCHEMA_VERSION, Workload, run_suite
+from repro.bench.__main__ import main
+from repro.bench.workloads import ghz, layered_rotations
+
+_ROW_KEYS = {
+    "name",
+    "num_qubits",
+    "gates_unfused",
+    "gates_fused",
+    "depth_unfused",
+    "depth_fused",
+    "transpile_time_s",
+    "run_time_unfused_s",
+    "run_time_fused_s",
+    "speedup",
+    "counts_match",
+}
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_suite(smoke=True, shots=256, repeats=1)
+
+
+class TestRunSuite:
+    def test_schema(self, smoke_report):
+        assert smoke_report["schema_version"] == SCHEMA_VERSION
+        assert smoke_report["config"]["smoke"] is True
+        for row in smoke_report["workloads"]:
+            assert set(row) == _ROW_KEYS
+
+    def test_json_serialisable(self, smoke_report):
+        round_trip = json.loads(json.dumps(smoke_report))
+        assert round_trip["schema_version"] == SCHEMA_VERSION
+
+    def test_counts_match_everywhere(self, smoke_report):
+        assert all(row["counts_match"] for row in smoke_report["workloads"])
+
+    def test_layered_rotations_fuses(self, smoke_report):
+        rows = [
+            r for r in smoke_report["workloads"] if r["name"] == "layered_rotations"
+        ]
+        assert rows
+        for row in rows:
+            assert row["gates_fused"] < row["gates_unfused"]
+
+    def test_explicit_workloads(self):
+        report = run_suite(
+            workloads=[Workload("ghz", 3, lambda: ghz(3))], shots=64, repeats=1
+        )
+        assert len(report["workloads"]) == 1
+        assert report["workloads"][0]["name"] == "ghz"
+
+    def test_timings_positive(self, smoke_report):
+        for row in smoke_report["workloads"]:
+            assert row["run_time_unfused_s"] > 0
+            assert row["run_time_fused_s"] > 0
+            assert row["transpile_time_s"] >= 0
+
+
+class TestCli:
+    def test_main_json_smoke(self, capsys):
+        exit_code = main(["--json", "--smoke", "--shots", "64"])
+        assert exit_code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["config"]["repeats"] == 1  # smoke defaults to one repeat
+
+    def test_main_table_output(self, capsys):
+        exit_code = main(["--smoke", "--shots", "64"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "workload" in out
+        assert "layered_rotations" in out
+
+    def test_main_writes_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "bench.json"
+        exit_code = main(["--json", "--smoke", "--shots", "64", "--out", str(out_file)])
+        assert exit_code == 0
+        capsys.readouterr()
+        report = json.loads(out_file.read_text())
+        assert report["schema_version"] == SCHEMA_VERSION
+
+    def test_module_entry_point(self):
+        # The acceptance-criteria invocation, exactly as CI runs it.  The
+        # subprocess does not inherit pytest's pythonpath option, so point
+        # PYTHONPATH at whatever src directory this repro was imported from.
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.bench", "--json", "--smoke", "--shots", "64"],
+            capture_output=True,
+            text=True,
+            check=False,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        report = json.loads(result.stdout)
+        layered = [
+            r for r in report["workloads"] if r["name"] == "layered_rotations"
+        ]
+        assert all(r["gates_fused"] < r["gates_unfused"] for r in layered)
+
+    def test_custom_workload_keeps_layered_invariant(self):
+        report = run_suite(
+            workloads=[
+                Workload("layered_rotations", 4, lambda: layered_rotations(4, layers=2))
+            ],
+            shots=64,
+            repeats=1,
+        )
+        row = report["workloads"][0]
+        assert row["gates_fused"] < row["gates_unfused"]

@@ -1,0 +1,76 @@
+"""Tests for the canonical benchmark workloads."""
+
+import pytest
+
+from repro.bench import default_workloads, ghz, layered_rotations, random_dense
+from repro.sim import run
+
+
+class TestGhz:
+    def test_structure(self):
+        circuit = ghz(5)
+        assert circuit.num_qubits == 5
+        assert circuit.count_ops() == {"h": 1, "cx": 4}
+
+    def test_produces_ghz_state(self):
+        probs = run(ghz(4)).probabilities_dict()
+        assert probs == pytest.approx({"0000": 0.5, "1111": 0.5})
+
+
+class TestLayeredRotations:
+    def test_deterministic(self):
+        a = layered_rotations(5, layers=3, seed=7)
+        b = layered_rotations(5, layers=3, seed=7)
+        assert a == b
+
+    def test_seed_changes_circuit(self):
+        assert layered_rotations(5, seed=1) != layered_rotations(5, seed=2)
+
+    def test_contains_single_qubit_runs(self):
+        ops = layered_rotations(4, layers=2).count_ops()
+        assert ops["rz"] == 2 * 4 * 2  # two rz per qubit per layer
+        assert ops["ry"] == 4 * 2
+        assert ops["cx"] > 0
+
+    def test_runs_on_backend(self):
+        state = run(layered_rotations(4, layers=2))
+        assert state.num_qubits == 4
+
+
+class TestRandomDense:
+    def test_deterministic(self):
+        assert random_dense(5, 40, seed=3) == random_dense(5, 40, seed=3)
+
+    def test_gate_count(self):
+        assert len(random_dense(6, 50)) == 50
+
+    def test_valid_two_qubit_gates(self):
+        for instruction in random_dense(4, 80, seed=5):
+            assert len(set(instruction.qubits)) == len(instruction.qubits)
+
+
+class TestDefaultWorkloads:
+    def test_full_sizes(self):
+        workloads = default_workloads()
+        sizes = sorted({w.num_qubits for w in workloads})
+        assert sizes == [8, 12, 16]
+        assert {w.name for w in workloads} == {
+            "ghz",
+            "layered_rotations",
+            "random_dense",
+        }
+
+    def test_smoke_is_smaller(self):
+        smoke = default_workloads(smoke=True)
+        assert max(w.num_qubits for w in smoke) < 8
+
+    def test_workload_builds_circuit(self):
+        workload = default_workloads(smoke=True)[0]
+        circuit = workload.build()
+        assert circuit.num_qubits == workload.num_qubits
+        assert "Workload(" in repr(workload)
+
+    def test_builders_are_independent(self):
+        # Late-binding bug guard: each Workload must build its own size.
+        for workload in default_workloads(smoke=True):
+            assert workload.build().num_qubits == workload.num_qubits

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.circuit import Gate, Instruction
+from repro.circuit import Instruction
 from repro.gates import get_gate
 from repro.utils.exceptions import CircuitError
 

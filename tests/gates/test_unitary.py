@@ -1,0 +1,92 @@
+"""Tests for explicit-matrix unitary gates, end to end through the stack."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, Gate
+from repro.gates import get_gate, unitary_gate
+from repro.sim import run
+from repro.utils.exceptions import CircuitError
+
+
+class TestUnitaryGate:
+    def test_wraps_matrix(self):
+        m = get_gate("h").matrix
+        gate = unitary_gate(m)
+        assert isinstance(gate, Gate)
+        assert gate.name == "unitary"
+        assert gate.num_qubits == 1
+        assert np.array_equal(gate.matrix, m)
+
+    def test_two_qubit_matrix(self):
+        gate = unitary_gate(get_gate("cx").matrix)
+        assert gate.num_qubits == 2
+
+    def test_custom_name(self):
+        assert unitary_gate(np.eye(2), name="my_u").name == "my_u"
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(CircuitError, match="not unitary"):
+            unitary_gate(np.array([[1, 0], [0, 2]]))
+
+    def test_validate_false_skips_check(self):
+        gate = unitary_gate(np.array([[1, 0], [0, 2]]), validate=False)
+        assert not gate.is_unitary()
+
+    def test_rejects_non_square(self):
+        with pytest.raises(CircuitError, match="square"):
+            unitary_gate(np.ones((2, 4)))
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(CircuitError, match="power of two"):
+            unitary_gate(np.eye(3))
+        with pytest.raises(CircuitError, match="power of two"):
+            unitary_gate(np.eye(1))
+
+    def test_inverse_round_trips(self):
+        theta = 0.73
+        gate = unitary_gate(get_gate("rx", theta).matrix)
+        inv = gate.inverse()
+        assert np.allclose(inv.matrix @ gate.matrix, np.eye(2))
+
+    def test_equality_is_matrix_sensitive(self):
+        a = unitary_gate(get_gate("h").matrix)
+        b = unitary_gate(get_gate("x").matrix)
+        assert a != b
+        assert a == unitary_gate(get_gate("h").matrix)
+
+
+class TestCircuitUnitary:
+    def test_append_and_run(self):
+        circuit = Circuit(1).unitary([[0, 1], [1, 0]], [0])
+        assert run(circuit).probabilities_dict() == pytest.approx({"1": 1.0})
+
+    def test_matches_named_gate_semantics(self):
+        bell_explicit = Circuit(2)
+        bell_explicit.unitary(get_gate("h").matrix, [0])
+        bell_explicit.unitary(get_gate("cx").matrix, [0, 1])
+        bell_named = Circuit(2).h(0).cx(0, 1)
+        assert run(bell_explicit).fidelity(run(bell_named)) == pytest.approx(1.0)
+
+    def test_qubit_order_convention(self):
+        # cx matrix with (target, control) order: control is qubit 1.
+        circuit = Circuit(2).x(1).unitary(get_gate("cx").matrix, [1, 0])
+        assert run(circuit).probabilities_dict() == pytest.approx({"11": 1.0})
+
+    def test_chainable(self):
+        circuit = Circuit(1).unitary(np.eye(2), [0]).x(0)
+        assert len(circuit) == 2
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).unitary(np.eye(2), [0, 1])
+
+    def test_counts_ops_reports_unitary(self):
+        circuit = Circuit(1).unitary(np.eye(2), [0])
+        assert circuit.count_ops() == {"unitary": 1}
+
+    def test_inverse_circuit_with_unitary(self):
+        circuit = Circuit(2).h(0).unitary(get_gate("cx").matrix, [0, 1])
+        round_trip = circuit.compose(circuit.inverse())
+        state = run(round_trip)
+        assert state.probability("00") == pytest.approx(1.0)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.circuit import Circuit
 from repro.sampling import sample_counts, sample_memory
-from repro.sim import Statevector, run
+from repro.sim import run
 from repro.utils.exceptions import SimulationError
 from repro.utils.rng import derive_seed
 

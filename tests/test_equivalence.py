@@ -1,0 +1,83 @@
+"""Property-style equivalence: transpiled circuits are indistinguishable.
+
+For seeded random 5-qubit circuits, the transpiled circuit must produce
+the same statevector (up to global phase) and — because probabilities are
+preserved to float precision — byte-identical seeded ``sample_counts``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, sample_counts, transpile
+from repro.gates import available_gates, gate_arity, get_gate
+from repro.sim import run
+from repro.utils.rng import ensure_rng
+
+_NUM_QUBITS = 5
+_NUM_GATES = 40
+_PARAM_COUNTS = {"rx": 1, "ry": 1, "rz": 1, "p": 1, "u3": 3}
+
+
+def _random_circuit(
+    seed: int, num_qubits: int = _NUM_QUBITS, num_gates: int = _NUM_GATES
+) -> Circuit:
+    rng = ensure_rng(seed)
+    names = available_gates()
+    circuit = Circuit(num_qubits, name=f"random_{seed}")
+    while len(circuit) < num_gates:
+        name = names[int(rng.integers(len(names)))]
+        arity = gate_arity(name)
+        if arity > num_qubits:
+            continue
+        qubits = rng.choice(num_qubits, size=arity, replace=False)
+        params = rng.uniform(0.0, 2 * np.pi, size=_PARAM_COUNTS.get(name, 0))
+        circuit.append(get_gate(name, *params), [int(q) for q in qubits])
+    return circuit
+
+
+def _assert_equal_up_to_global_phase(a, b, atol=1e-8):
+    data_a, data_b = a.data, b.data
+    pivot = int(np.argmax(np.abs(data_a)))
+    assert abs(data_a[pivot]) > 1e-6
+    phase = data_b[pivot] / data_a[pivot]
+    assert abs(abs(phase) - 1.0) < atol
+    np.testing.assert_allclose(data_b, phase * data_a, atol=atol)
+
+
+@pytest.mark.parametrize("seed", range(12))
+class TestTranspileEquivalence:
+    def test_statevector_equal_up_to_global_phase(self, seed):
+        circuit = _random_circuit(seed)
+        _assert_equal_up_to_global_phase(run(circuit), run(transpile(circuit)))
+
+    def test_seeded_counts_identical(self, seed):
+        circuit = _random_circuit(seed)
+        transpiled = transpile(circuit)
+        for repetition in (0, 1):
+            original = sample_counts(circuit, 512, seed=seed + 1000, repetition=repetition)
+            fused = sample_counts(transpiled, 512, seed=seed + 1000, repetition=repetition)
+            assert original == fused
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_wide_fusion_equivalence(seed):
+    """max_fused_width=3 fuses across two-qubit gates and must still agree."""
+    circuit = _random_circuit(seed, num_gates=30)
+    transpiled = transpile(circuit, max_fused_width=3)
+    _assert_equal_up_to_global_phase(run(circuit), run(transpiled))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_backend_optimize_flag_equivalence(seed):
+    """run(..., optimize=True) is observably identical to the plain run."""
+    circuit = _random_circuit(seed, num_gates=25)
+    _assert_equal_up_to_global_phase(run(circuit), run(circuit, optimize=True))
+
+
+def test_transpile_reduces_layered_workload():
+    """The optimisation is not a no-op where fusion opportunities exist."""
+    from repro.bench.workloads import layered_rotations
+
+    circuit = layered_rotations(5, layers=3)
+    transpiled = transpile(circuit)
+    assert len(transpiled) < len(circuit)

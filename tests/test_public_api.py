@@ -1,0 +1,62 @@
+"""The top-level ``repro`` namespace: ``__all__`` matches reality."""
+
+import pytest
+
+import repro
+
+
+class TestAll:
+    def test_every_name_in_all_is_importable(self):
+        missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+        assert missing == [], f"__all__ names not importable: {missing}"
+
+    def test_no_duplicates(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_public_attributes_are_exported(self):
+        # Every public (non-underscore, non-module) attribute bound on the
+        # package should be deliberate, i.e. listed in __all__.
+        import types
+
+        public = {
+            name
+            for name in vars(repro)
+            if not name.startswith("_")
+            and not isinstance(getattr(repro, name), types.ModuleType)
+        }
+        unexported = public - set(repro.__all__)
+        assert unexported == set(), f"public names missing from __all__: {unexported}"
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "transpile",
+            "PassManager",
+            "Pass",
+            "FuseAdjacentGates",
+            "DropIdentities",
+            "CancelInversePairs",
+            "unitary_gate",
+            "run_suite",
+        ],
+    )
+    def test_new_entry_points_exported(self, name):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
+
+    def test_star_import(self):
+        namespace = {}
+        exec("from repro import *", namespace)
+        for name in repro.__all__:
+            assert name in namespace
+
+    def test_subpackage_all_importable(self):
+        # NB: resolve through importlib — the attribute ``repro.transpile``
+        # is the transpile *function* (it shadows the submodule, just like
+        # ``repro.run`` shadows nothing but is a function too).
+        import importlib
+
+        for module_name in ("repro.transpile", "repro.bench"):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.{name} missing"
