@@ -3,11 +3,12 @@
 Layering (each layer depends only on the ones above it)::
 
     repro.utils      exceptions, RNG plumbing, bitstring conventions
-    repro.circuit    gate-instruction IR (Gate, Instruction, Circuit)
+    repro.circuit    operation-instruction IR (Gate, Channel, Instruction, Circuit)
     repro.gates      registry-backed standard gate library + unitary gates
+    repro.noise      Kraus channel library, readout error, NoiseModel
     repro.transpile  pass-manager optimisation (fusion, cancellation)
-    repro.sim        vectorised statevector backend
-    repro.sampling   shot sampling -> Counts
+    repro.sim        backend registry: statevector + density-matrix engines
+    repro.sampling   shot sampling -> Counts (any backend, readout noise)
     repro.bench      benchmark workloads + JSON-reporting harness
 
 The public API re-exported here is the supported surface; module internals
@@ -15,7 +16,7 @@ may move between PRs.
 """
 
 from repro.bench import run_suite
-from repro.circuit import Circuit, Gate, Instruction
+from repro.circuit import Channel, Circuit, Gate, Instruction
 from repro.gates import (
     available_gates,
     gate_arity,
@@ -23,8 +24,28 @@ from repro.gates import (
     register_gate,
     unitary_gate,
 )
+from repro.noise import (
+    NoiseModel,
+    ReadoutError,
+    amplitude_damping,
+    bit_flip,
+    bit_phase_flip,
+    depolarizing,
+    phase_damping,
+    phase_flip,
+)
 from repro.sampling import Counts, sample_counts, sample_memory
-from repro.sim import Statevector, StatevectorBackend, run
+from repro.sim import (
+    Backend,
+    DensityMatrix,
+    DensityMatrixBackend,
+    Statevector,
+    StatevectorBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    run,
+)
 
 # NB: re-exporting the ``transpile`` *function* shadows the ``repro.transpile``
 # submodule attribute on this package (``repro.transpile(circuit)`` works;
@@ -59,11 +80,12 @@ from repro.utils import (
     spawn_seeds,
 )
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "__version__",
     # circuit IR
+    "Channel",
     "Circuit",
     "Gate",
     "Instruction",
@@ -73,6 +95,15 @@ __all__ = [
     "get_gate",
     "register_gate",
     "unitary_gate",
+    # noise
+    "NoiseModel",
+    "ReadoutError",
+    "amplitude_damping",
+    "bit_flip",
+    "bit_phase_flip",
+    "depolarizing",
+    "phase_damping",
+    "phase_flip",
     # transpilation
     "CancelInversePairs",
     "DropIdentities",
@@ -81,8 +112,14 @@ __all__ = [
     "PassManager",
     "transpile",
     # simulation
+    "Backend",
+    "DensityMatrix",
+    "DensityMatrixBackend",
     "Statevector",
     "StatevectorBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "run",
     # sampling
     "Counts",

@@ -1,8 +1,9 @@
 """Benchmark harness: canonical workloads timed with and without fusion.
 
-``run_suite`` executes each workload unfused and transpiled, records
+``run_suite`` executes each workload unfused and transpiled on its
+backend (statevector or density-matrix, noisy families included), records
 wall-times, gate counts and a seeded counts-equivalence check, and
-returns a JSON-stable report (``schema_version`` 1).  ``python -m
+returns a JSON-stable report (``schema_version`` 2).  ``python -m
 repro.bench --json`` is the CLI entry point; ``--smoke`` selects the
 small configuration CI runs on every push.
 """
@@ -12,6 +13,8 @@ from repro.bench.workloads import (
     Workload,
     default_workloads,
     ghz,
+    ghz_depolarizing,
+    layered_damped,
     layered_rotations,
     random_dense,
 )
@@ -21,6 +24,8 @@ __all__ = [
     "Workload",
     "default_workloads",
     "ghz",
+    "ghz_depolarizing",
+    "layered_damped",
     "layered_rotations",
     "random_dense",
     "run_suite",

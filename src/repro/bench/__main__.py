@@ -1,6 +1,6 @@
 """CLI for the benchmark suite: ``python -m repro.bench [--json] [--smoke]``.
 
-Prints a human-readable table by default, the schema-1 JSON report with
+Prints a human-readable table by default, the schema-2 JSON report with
 ``--json``.  Exits non-zero if any workload's fused execution fails the
 seeded counts-equivalence check — CI treats that as a correctness
 regression, not a slow run.
@@ -14,21 +14,25 @@ import sys
 from typing import Optional, Sequence
 
 from repro.bench.harness import run_suite
+from repro.sim import available_backends
+from repro.utils.exceptions import SimulationError
 
 
 def _format_table(report: dict) -> str:
     header = (
-        f"{'workload':<20} {'n':>3} {'gates':>11} {'depth':>9} "
+        f"{'workload':<20} {'n':>3} {'backend':>15} {'gates':>11} {'depth':>9} "
         f"{'t_unfused':>10} {'t_fused':>10} {'speedup':>8} {'counts':>7}"
     )
     lines = [header, "-" * len(header)]
     for row in report["workloads"]:
+        speedup = row["speedup"]
+        speedup_cell = f"{speedup:>7.2f}x" if speedup is not None else f"{'n/a':>8}"
         lines.append(
-            f"{row['name']:<20} {row['num_qubits']:>3} "
+            f"{row['name']:<20} {row['num_qubits']:>3} {row['backend']:>15} "
             f"{row['gates_unfused']:>4}->{row['gates_fused']:<5} "
             f"{row['depth_unfused']:>3}->{row['depth_fused']:<4} "
             f"{row['run_time_unfused_s']:>10.2g} {row['run_time_fused_s']:>10.2g} "
-            f"{row['speedup']:>7.2f}x {'ok' if row['counts_match'] else 'FAIL':>7}"
+            f"{speedup_cell} {'ok' if row['counts_match'] else 'FAIL':>7}"
         )
     return "\n".join(lines)
 
@@ -36,10 +40,10 @@ def _format_table(report: dict) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Benchmark the statevector backend with and without gate fusion.",
+        description="Benchmark the simulation backends with and without gate fusion.",
     )
     parser.add_argument(
-        "--json", action="store_true", help="emit the schema-1 JSON report on stdout"
+        "--json", action="store_true", help="emit the schema-2 JSON report on stdout"
     )
     parser.add_argument(
         "--smoke",
@@ -55,18 +59,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--max-fused-width", type=int, default=2, help="fusion width cap (qubits)"
     )
     parser.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        choices=sorted(available_backends()),
+        help="default backend for workloads that do not pin one",
+    )
+    parser.add_argument(
         "--out", type=str, default=None, help="also write the JSON report to this path"
     )
     args = parser.parse_args(argv)
 
-    repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
-    report = run_suite(
-        smoke=args.smoke,
-        shots=args.shots,
-        seed=args.seed,
-        repeats=repeats,
-        max_fused_width=args.max_fused_width,
-    )
+    try:
+        report = run_suite(
+            smoke=args.smoke,
+            shots=args.shots,
+            seed=args.seed,
+            repeats=args.repeats,
+            max_fused_width=args.max_fused_width,
+            backend=args.backend,
+        )
+    except SimulationError as exc:
+        # E.g. --backend density_matrix at full statevector sizes: the
+        # harness refuses O(4**n) blowups with a clear message.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     payload = json.dumps(report, indent=2, sort_keys=True)
     if args.out:

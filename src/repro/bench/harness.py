@@ -1,24 +1,35 @@
 """The bench driver: time each workload unfused vs. transpiled.
 
-Report schema (``schema_version`` 1) — stable from this PR onward so CI
+Report schema (``schema_version`` 2) — stable from this PR onward so CI
 artifacts stay comparable across commits::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "config": {"smoke": bool, "shots": int, "seed": int,
-                 "repeats": int, "max_fused_width": int},
+                 "repeats": int, "max_fused_width": int,
+                 "backend": str,
+                 "noise_model": str | null},  # suite-wide model label
       "workloads": [
         {
           "name": str, "num_qubits": int,
+          "backend": str,              # backend the workload ran on
+          "noise": str | null,         # embedded-channel and/or model
+                                       # label, null when noiseless
           "gates_unfused": int, "gates_fused": int,
           "depth_unfused": int, "depth_fused": int,
           "transpile_time_s": float,
           "run_time_unfused_s": float, "run_time_fused_s": float,
-          "speedup": float,            # unfused / fused wall-time
+          "speedup": float | null,     # unfused / fused wall-time; null
+                                       # when the fused time measured 0
+                                       # (Infinity is not valid JSON)
           "counts_match": bool         # seeded sampling equivalence
         }, ...
       ]
     }
+
+Schema history: version 1 lacked the ``backend``/``noise`` fields and
+emitted ``float("inf")`` speedups, which ``json.dumps`` serialises as the
+non-standard ``Infinity`` token.
 
 Wall-times are best-of-``repeats`` ``perf_counter`` measurements of the
 simulation alone (circuit construction and transpilation are timed
@@ -34,10 +45,17 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.bench.workloads import Workload, default_workloads
 from repro.circuit import Circuit
 from repro.sampling import sample_counts
-from repro.sim import StatevectorBackend
+from repro.sim import get_backend
 from repro.transpile import transpile
+from repro.utils.exceptions import SimulationError
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+# Mixed-state cost is O(4**n) memory *per contraction temporary*: n = 12
+# is already ~270 MB a copy (minutes of bench wall-time), n = 16 would be
+# 64 GiB before the first gate.  Refuse early with a clear message
+# instead of dying in np.zeros or grinding for hours.
+DENSITY_WIDTH_CAP = 10
 
 
 def _best_time(fn: Callable[[], object], repeats: int) -> float:
@@ -51,28 +69,37 @@ def _best_time(fn: Callable[[], object], repeats: int) -> float:
 
 def _bench_workload(
     workload: Workload,
-    backend: StatevectorBackend,
+    backend,
+    circuit: Circuit,
     shots: int,
     seed: int,
     repeats: int,
     max_fused_width: int,
+    noise_model,
+    noise_label: "Optional[str]",
 ) -> Dict[str, object]:
-    circuit: Circuit = workload.build()
-
     start = time.perf_counter()
     fused = transpile(circuit, max_fused_width=max_fused_width)
     transpile_time = time.perf_counter() - start
 
-    run_unfused = _best_time(lambda: backend.run(circuit), repeats)
-    run_fused = _best_time(lambda: backend.run(fused), repeats)
+    run_unfused = _best_time(
+        lambda: backend.run(circuit, noise_model=noise_model), repeats
+    )
+    run_fused = _best_time(
+        lambda: backend.run(fused, noise_model=noise_model), repeats
+    )
 
-    counts_match = sample_counts(circuit, shots, seed=seed) == sample_counts(
-        fused, shots, seed=seed
+    counts_match = sample_counts(
+        circuit, shots, seed=seed, backend=backend, noise_model=noise_model
+    ) == sample_counts(
+        fused, shots, seed=seed, backend=backend, noise_model=noise_model
     )
 
     return {
         "name": workload.name,
         "num_qubits": workload.num_qubits,
+        "backend": backend.name,
+        "noise": noise_label,
         "gates_unfused": len(circuit),
         "gates_fused": len(fused),
         "depth_unfused": circuit.depth(),
@@ -80,7 +107,9 @@ def _bench_workload(
         "transpile_time_s": transpile_time,
         "run_time_unfused_s": run_unfused,
         "run_time_fused_s": run_fused,
-        "speedup": run_unfused / run_fused if run_fused > 0 else float("inf"),
+        # null, not float("inf"): json.dumps would emit the non-standard
+        # ``Infinity`` token and break strict parsers of the CI artifact.
+        "speedup": run_unfused / run_fused if run_fused > 0 else None,
         "counts_match": bool(counts_match),
     }
 
@@ -90,10 +119,12 @@ def run_suite(
     smoke: bool = False,
     shots: int = 1024,
     seed: int = 1234,
-    repeats: int = 3,
+    repeats: Optional[int] = None,
     max_fused_width: int = 2,
+    backend: Optional[str] = None,
+    noise_model=None,
 ) -> Dict[str, object]:
-    """Run the benchmark suite and return the schema-1 report dict.
+    """Run the benchmark suite and return the schema-2 report dict.
 
     Parameters
     ----------
@@ -101,23 +132,89 @@ def run_suite(
         Explicit workload list; defaults to :func:`default_workloads`
         at full or ``smoke`` size.
     smoke:
-        Small/fast configuration for CI gating (fewer qubits, one repeat
-        unless ``repeats`` is overridden by the caller).
+        Small/fast configuration for CI gating: fewer/smaller workloads
+        and — unless ``repeats`` is given explicitly — a single timing
+        repeat.
     shots, seed:
         Sampling configuration for the counts-equivalence check; the same
         seed is used for the unfused and fused run so the Counts must be
         identical.
     repeats:
-        Wall-times are the best of this many runs.
+        Wall-times are the best of this many runs.  ``None`` (default)
+        resolves to 1 in smoke mode and 3 otherwise.
     max_fused_width:
         Width cap handed to the default transpile pipeline.
+    backend:
+        Default backend — a registered name or a configured instance —
+        for workloads that do not pin one (``Workload.backend`` always
+        wins); ``None`` means ``"statevector"``.
+    noise_model:
+        Optional :class:`~repro.noise.NoiseModel` applied to every
+        workload (beyond any channels already embedded in the circuits).
+        A model with gate-noise rules requires every workload to run on
+        the density-matrix backend — combine it with
+        ``backend="density_matrix"`` and density-sized workloads, or the
+        first statevector-backed workload raises ``SimulationError``.
+        Note that attaching per-gate noise makes the fused run a
+        *different* open system, so expect ``counts_match`` to fail —
+        useful for measuring that effect, not for CI gating.
     """
+    if repeats is None:
+        repeats = 1 if smoke else 3
     if workloads is None:
         workloads = default_workloads(smoke=smoke)
-    backend = StatevectorBackend()
+    # Normalise a name *or instance* to the live backend once, so the cap
+    # check and the JSON report always see the backend's registered name
+    # (get_backend(None) resolves the registry default).
+    default_backend = get_backend(backend)
+    has_gate_noise = noise_model is not None and getattr(
+        noise_model, "has_gate_noise", False
+    )
+    model_label = (
+        (getattr(noise_model, "name", None) or "noise_model")
+        if has_gate_noise
+        else None
+    )
+    # Validate the whole plan upfront — caps, backend compatibility — and
+    # build each circuit once: refusing (or crashing on) workload k after
+    # benching workloads 0..k-1 would throw their measurements away.
+    plan = []
+    for w in workloads:
+        w_backend = get_backend(w.backend) if w.backend else default_backend
+        if w_backend.name == "density_matrix" and w.num_qubits > DENSITY_WIDTH_CAP:
+            raise SimulationError(
+                f"workload {w.name!r} has {w.num_qubits} qubits; the "
+                f"density-matrix backend needs O(4**n) memory and is capped "
+                f"at {DENSITY_WIDTH_CAP} qubits in the bench suite — use "
+                "smoke sizes or an explicit workload list"
+            )
+        circuit = w.build()
+        if w_backend.name == "statevector" and (
+            has_gate_noise or circuit.has_channels()
+        ):
+            raise SimulationError(
+                f"workload {w.name!r} runs on the statevector backend, which "
+                "cannot apply gate noise (noise-model rules or embedded "
+                "channels) — pass backend='density_matrix' (and "
+                "density-sized workloads)"
+            )
+        # The row label records all noise in play: channels embedded in
+        # the circuit and/or the suite-wide model's gate noise.
+        noise_label = " + ".join(filter(None, [w.noise, model_label])) or None
+        plan.append((w, w_backend, circuit, noise_label))
     results: List[Dict[str, object]] = [
-        _bench_workload(w, backend, shots, seed, repeats, max_fused_width)
-        for w in workloads
+        _bench_workload(
+            w,
+            w_backend,
+            circuit,
+            shots,
+            seed,
+            repeats,
+            max_fused_width,
+            noise_model,
+            noise_label,
+        )
+        for w, w_backend, circuit, noise_label in plan
     ]
     return {
         "schema_version": SCHEMA_VERSION,
@@ -127,6 +224,8 @@ def run_suite(
             "seed": int(seed),
             "repeats": int(repeats),
             "max_fused_width": int(max_fused_width),
+            "backend": default_backend.name,
+            "noise_model": model_label,
         },
         "workloads": results,
     }

@@ -1,6 +1,6 @@
 """Canonical benchmark circuits.
 
-Three families spanning the fusion spectrum:
+Five families spanning the fusion and noise spectrum:
 
 * ``ghz`` — entangling CX chain, almost nothing for fusion to merge;
   the floor case.
@@ -9,35 +9,62 @@ Three families spanning the fusion spectrum:
   exactly what :class:`~repro.transpile.FuseAdjacentGates` collapses.
 * ``random_dense`` — seeded random mix of one- and two-qubit gates; the
   "typical workload" middle ground.
+* ``ghz_depolarizing`` — GHZ with a depolarizing channel after every
+  gate; exercises the density-matrix backend's channel hot path.
+* ``layered_damped`` — layered rotations with amplitude damping after
+  each brickwork layer; mixed fusion + noise (channels are barriers, so
+  the rotation runs between them still fuse).
+
+Noisy families embed :class:`~repro.circuit.Channel` instructions in the
+circuit (rather than using a :class:`~repro.noise.NoiseModel`) so the
+noise placement is part of the IR and survives transpilation exactly —
+the fused and unfused runs stay distribution-identical.
 
 Each family is exposed both as a plain circuit builder and, via
 :func:`default_workloads`, as named :class:`Workload` entries with the
-sizes the suite runs at (n = 8..16 full, smaller for ``--smoke``).
+sizes the suite runs at (n = 8..16 full statevector, n = 4..8 for the
+O(4**n)-memory density-matrix families, smaller for ``--smoke``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.circuit import Circuit
 from repro.utils.rng import ensure_rng
 
 
 class Workload:
-    """A named, deterministic circuit factory for the bench suite."""
+    """A named, deterministic circuit factory for the bench suite.
 
-    __slots__ = ("name", "num_qubits", "_build")
+    ``backend`` pins the workload to a registered backend name (``None``
+    defers to the suite default); ``noise`` is a human-readable label of
+    the noise baked into the built circuit (``None`` for noiseless).
+    """
 
-    def __init__(self, name: str, num_qubits: int, build: Callable[[], Circuit]) -> None:
+    __slots__ = ("name", "num_qubits", "_build", "backend", "noise")
+
+    def __init__(
+        self,
+        name: str,
+        num_qubits: int,
+        build: Callable[[], Circuit],
+        backend: Optional[str] = None,
+        noise: Optional[str] = None,
+    ) -> None:
         self.name = name
         self.num_qubits = num_qubits
         self._build = build
+        self.backend = backend
+        self.noise = noise
 
     def build(self) -> Circuit:
         return self._build()
 
     def __repr__(self) -> str:
-        return f"Workload({self.name}, n={self.num_qubits})"
+        extra = f", backend={self.backend}" if self.backend else ""
+        extra += f", noise={self.noise}" if self.noise else ""
+        return f"Workload({self.name}, n={self.num_qubits}{extra})"
 
 
 def ghz(num_qubits: int) -> Circuit:
@@ -95,11 +122,60 @@ def random_dense(num_qubits: int, num_gates: int = 120, seed: int = 11) -> Circu
     return circuit
 
 
+def ghz_depolarizing(num_qubits: int, p: float = 0.02) -> Circuit:
+    """GHZ preparation with a depolarizing channel after every gate."""
+    from repro.noise import depolarizing
+
+    channel = depolarizing(p)
+    circuit = Circuit(num_qubits, name=f"ghz_depolarizing_{num_qubits}")
+    circuit.h(0).channel(channel, (0,))
+    for q in range(num_qubits - 1):
+        circuit.cx(q, q + 1)
+        circuit.channel(channel, (q,)).channel(channel, (q + 1,))
+    return circuit
+
+
+def layered_damped(
+    num_qubits: int, layers: int = 4, gamma: float = 0.03, seed: int = 7
+) -> Circuit:
+    """Layered rotations with amplitude damping on every qubit per layer.
+
+    The damping channels sit *between* brickwork layers, so the rz·ry·rz
+    runs inside each layer remain fusable while the noise placement is
+    pinned in the IR.
+    """
+    from repro.noise import amplitude_damping
+
+    channel = amplitude_damping(gamma)
+    rng = ensure_rng(seed)
+    circuit = Circuit(num_qubits, name=f"layered_damped_{num_qubits}")
+    for layer in range(layers):
+        for q in range(num_qubits):
+            a, b, c = rng.uniform(0.0, 6.283185307179586, size=3)
+            circuit.rz(a, q).ry(b, q).rz(c, q)
+        offset = layer % 2
+        for q in range(offset, num_qubits - 1, 2):
+            circuit.cx(q, q + 1)
+        for q in range(num_qubits):
+            circuit.channel(channel, (q,))
+    return circuit
+
+
 def default_workloads(smoke: bool = False) -> List[Workload]:
-    """The suite's workload list: 3 families x sizes (small for smoke)."""
+    """The suite's workload list: 5 families x sizes (small for smoke).
+
+    Density-matrix families run at smaller widths than the statevector
+    ones — mixed-state memory is O(4**n), so n = 10 density costs what
+    n = 20 statevector would.
+    """
     sizes: Tuple[int, ...] = (4, 6) if smoke else (8, 12, 16)
+    noisy_sizes: Tuple[int, ...] = (4,) if smoke else (6, 8)
     layers = 2 if smoke else 4
     gates_per_qubit = 6 if smoke else 12
+    # One constant per noisy family, threaded through both the builder
+    # call and the report label so they can never disagree.
+    depolarizing_p = 0.02
+    damping_gamma = 0.03
     workloads: List[Workload] = []
     for n in sizes:
         workloads.append(Workload("ghz", n, lambda n=n: ghz(n)))
@@ -115,6 +191,25 @@ def default_workloads(smoke: bool = False) -> List[Workload]:
                 "random_dense",
                 n,
                 lambda n=n: random_dense(n, num_gates=gates_per_qubit * n),
+            )
+        )
+    for n in noisy_sizes:
+        workloads.append(
+            Workload(
+                "ghz_depolarizing",
+                n,
+                lambda n=n: ghz_depolarizing(n, p=depolarizing_p),
+                backend="density_matrix",
+                noise=f"depolarizing(p={depolarizing_p:g})",
+            )
+        )
+        workloads.append(
+            Workload(
+                "layered_damped",
+                n,
+                lambda n=n: layered_damped(n, layers=layers, gamma=damping_gamma),
+                backend="density_matrix",
+                noise=f"amplitude_damping(gamma={damping_gamma:g})",
             )
         )
     return workloads

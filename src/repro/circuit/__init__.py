@@ -1,14 +1,17 @@
 """Circuit intermediate representation.
 
 The IR is deliberately matrix-aware but backend-agnostic: a :class:`Gate`
-bundles a name, parameter tuple, and unitary matrix; an :class:`Instruction`
-binds a gate to concrete qubit indices; a :class:`Circuit` is an ordered
-instruction list over a fixed-width qubit register.  Simulators, transpiler
-passes, and samplers all consume this IR and nothing else.
+bundles a name, parameter tuple, and unitary matrix; a :class:`Channel`
+bundles a name, parameter tuple, and Kraus-operator set (a CPTP map); an
+:class:`Instruction` binds either operation to concrete qubit indices; a
+:class:`Circuit` is an ordered instruction list over a fixed-width qubit
+register.  Simulators, transpiler passes, and samplers all consume this IR
+and nothing else.
 """
 
+from repro.circuit.channel import Channel
 from repro.circuit.gate import Gate
-from repro.circuit.instruction import Instruction
+from repro.circuit.instruction import Instruction, Operation
 from repro.circuit.circuit import Circuit
 
-__all__ = ["Gate", "Instruction", "Circuit"]
+__all__ = ["Channel", "Gate", "Instruction", "Operation", "Circuit"]

@@ -1,0 +1,154 @@
+"""The :class:`Channel` leaf of the circuit IR: a CPTP map in Kraus form.
+
+A channel is the open-system counterpart of :class:`~repro.circuit.gate.Gate`:
+an immutable value object carrying a name, a qubit arity, bound real
+parameters, and a tuple of ``2**k x 2**k`` Kraus operators ``K_i`` describing
+the completely positive map ``rho -> sum_i K_i rho K_i†``.  Construction
+validates trace preservation (``sum_i K_i† K_i == I``) so ill-normalised
+noise cannot silently leak probability out of a simulation.
+
+Channels live in the IR layer (not ``repro.noise``) for the same reason
+``Gate`` does: instructions must be able to bind them to qubits without the
+IR depending on the concrete channel library.  ``repro.noise`` builds the
+standard channels (depolarizing, damping, ...) on top of this class.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.exceptions import CircuitError, NoiseModelError
+
+_ATOL = 1e-8
+
+
+class Channel:
+    """An immutable named quantum channel acting on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    name:
+        Lower-case channel mnemonic, e.g. ``"depolarizing"``.
+    num_qubits:
+        Arity of the channel (1 for single-qubit noise, 2 for correlated
+        two-qubit noise, ...).
+    kraus:
+        The Kraus operators, each a ``2**num_qubits x 2**num_qubits``
+        matrix.  Row/column index bits follow the library bitstring
+        convention: the *first* qubit the channel is applied to is the most
+        significant bit.
+    params:
+        Bound real parameters (error probabilities etc.); part of channel
+        identity.
+    validate:
+        When true (default), reject Kraus sets that are not
+        trace-preserving within ``atol``.  Internal callers composing
+        channels from already-validated pieces may pass ``False``.
+    """
+
+    __slots__ = ("_name", "_num_qubits", "_kraus", "_params")
+
+    def __init__(
+        self,
+        name: str,
+        num_qubits: int,
+        kraus: Sequence[np.ndarray],
+        params: Sequence[float] = (),
+        validate: bool = True,
+        atol: float = _ATOL,
+    ) -> None:
+        if not name or not isinstance(name, str):
+            raise CircuitError(
+                f"channel name must be a non-empty string, got {name!r}"
+            )
+        if num_qubits < 1:
+            raise CircuitError(f"channel must act on >= 1 qubit, got {num_qubits}")
+        kraus = tuple(kraus)
+        if not kraus:
+            raise CircuitError("channel needs at least one Kraus operator")
+        dim = 1 << num_qubits
+        frozen = []
+        for i, operator in enumerate(kraus):
+            operator = np.asarray(operator, dtype=complex)
+            if operator.shape != (dim, dim):
+                raise CircuitError(
+                    f"Kraus operator {i} has shape {operator.shape}, expected "
+                    f"{(dim, dim)} for {num_qubits} qubit(s)"
+                )
+            operator = operator.copy()
+            operator.setflags(write=False)
+            frozen.append(operator)
+        self._name = name
+        self._num_qubits = int(num_qubits)
+        self._kraus = tuple(frozen)
+        self._params = tuple(float(p) for p in params)
+        if validate and not self.is_trace_preserving(atol=atol):
+            raise NoiseModelError(
+                f"channel {name!r} is not trace-preserving: "
+                f"sum(K†K) deviates from the identity beyond atol={atol}"
+            )
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def kraus(self) -> Tuple[np.ndarray, ...]:
+        """The (read-only) Kraus operators of the channel."""
+        return self._kraus
+
+    @property
+    def params(self) -> Tuple[float, ...]:
+        return self._params
+
+    def is_trace_preserving(self, atol: float = _ATOL) -> bool:
+        """Whether ``sum_i K_i† K_i == I`` within ``atol``."""
+        dim = 1 << self._num_qubits
+        total = np.zeros((dim, dim), dtype=complex)
+        for operator in self._kraus:
+            total += operator.conj().T @ operator
+        return bool(np.allclose(total, np.eye(dim), rtol=0.0, atol=atol))
+
+    def is_unital(self, atol: float = _ATOL) -> bool:
+        """Whether the channel fixes the maximally mixed state
+        (``sum_i K_i K_i† == I``); e.g. depolarizing is unital, amplitude
+        damping is not."""
+        dim = 1 << self._num_qubits
+        total = np.zeros((dim, dim), dtype=complex)
+        for operator in self._kraus:
+            total += operator @ operator.conj().T
+        return bool(np.allclose(total, np.eye(dim), rtol=0.0, atol=atol))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Channel):
+            return NotImplemented
+        return (
+            self._name == other._name
+            and self._num_qubits == other._num_qubits
+            and self._params == other._params
+            and len(self._kraus) == len(other._kraus)
+            and all(
+                np.array_equal(a, b) for a, b in zip(self._kraus, other._kraus)
+            )
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._num_qubits, self._params))
+
+    def __repr__(self) -> str:
+        if self._params:
+            args = ", ".join(f"{p:g}" for p in self._params)
+            return (
+                f"Channel({self._name}({args}), qubits={self._num_qubits}, "
+                f"kraus={len(self._kraus)})"
+            )
+        return (
+            f"Channel({self._name}, qubits={self._num_qubits}, "
+            f"kraus={len(self._kraus)})"
+        )

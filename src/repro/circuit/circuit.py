@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.circuit.gate import Gate
-from repro.circuit.instruction import Instruction
+from repro.circuit.channel import Channel
+from repro.circuit.instruction import Instruction, Operation
 from repro.utils.exceptions import CircuitError
 
 
@@ -74,12 +74,13 @@ class Circuit:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
-    def append(self, gate: Gate, qubits: Sequence[int]) -> "Circuit":
-        """Append ``gate`` on ``qubits``; validates indices against the register.
+    def append(self, operation: Operation, qubits: Sequence[int]) -> "Circuit":
+        """Append a :class:`Gate` or :class:`Channel` on ``qubits``.
 
-        Returns ``self`` so calls can be chained.
+        Validates indices against the register; returns ``self`` so calls
+        can be chained.
         """
-        instruction = Instruction(gate, qubits)
+        instruction = Instruction(operation, qubits)
         out_of_range = [q for q in instruction.qubits if q >= self._num_qubits]
         if out_of_range:
             raise CircuitError(
@@ -91,7 +92,7 @@ class Circuit:
 
     def extend(self, instructions: Sequence[Instruction]) -> "Circuit":
         for instruction in instructions:
-            self.append(instruction.gate, instruction.qubits)
+            self.append(instruction.operation, instruction.qubits)
         return self
 
     def copy(self, name: Optional[str] = None) -> "Circuit":
@@ -128,7 +129,7 @@ class Circuit:
         out = self.copy()
         for instruction in other:
             out.append(
-                instruction.gate, tuple(mapping[q] for q in instruction.qubits)
+                instruction.operation, tuple(mapping[q] for q in instruction.qubits)
             )
         return out
 
@@ -146,7 +147,7 @@ class Circuit:
         out = Circuit(width, self._name)
         for instruction in self._instructions:
             moved = instruction.remapped(mapping)
-            out.append(moved.gate, moved.qubits)
+            out.append(moved.operation, moved.qubits)
         return out
 
     # ------------------------------------------------------------------
@@ -164,11 +165,16 @@ class Circuit:
         return depth
 
     def count_ops(self) -> Dict[str, int]:
-        """Histogram of gate names."""
+        """Histogram of operation (gate and channel) names."""
         counts: Dict[str, int] = {}
         for instruction in self._instructions:
-            counts[instruction.gate.name] = counts.get(instruction.gate.name, 0) + 1
+            name = instruction.operation.name
+            counts[name] = counts.get(name, 0) + 1
         return counts
+
+    def has_channels(self) -> bool:
+        """Whether any instruction is a :class:`Channel` application."""
+        return any(instruction.is_channel for instruction in self._instructions)
 
     def active_qubits(self) -> Tuple[int, ...]:
         """Sorted qubits touched by at least one instruction."""
@@ -225,6 +231,19 @@ class Circuit:
         from repro.gates import unitary_gate
 
         return self.append(unitary_gate(matrix), tuple(qubits))
+
+    def channel(self, channel: Channel, qubits: Sequence[int]) -> "Circuit":
+        """Append a noise :class:`Channel` on ``qubits``.
+
+        Channel instructions require a mixed-state backend
+        (``density_matrix``) to simulate; the pure-state backend rejects
+        them.  Transpiler passes treat channels as barriers.
+        """
+        if not isinstance(channel, Channel):
+            raise CircuitError(
+                f"expected a Channel, got {type(channel).__name__}"
+            )
+        return self.append(channel, tuple(qubits))
 
     def cx(self, control: int, target: int) -> "Circuit":
         return self._append_std("cx", (control, target))

@@ -1,53 +1,84 @@
-"""The :class:`Instruction` node of the circuit IR: a gate bound to qubits."""
+"""The :class:`Instruction` node of the circuit IR: an operation bound to qubits."""
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Sequence, Tuple, Union
 
+from repro.circuit.channel import Channel
 from repro.circuit.gate import Gate
 from repro.utils.exceptions import CircuitError
 
+Operation = Union[Gate, Channel]
+
 
 class Instruction:
-    """An immutable application of a :class:`Gate` to concrete qubit indices.
+    """An immutable application of an operation to concrete qubit indices.
 
-    Qubit order matters: ``qubits[0]`` is the gate's most significant qubit
-    (e.g. the control for CX built with the standard library).
+    The operation is either a :class:`Gate` (unitary) or a :class:`Channel`
+    (CPTP map in Kraus form).  Qubit order matters: ``qubits[0]`` is the
+    operation's most significant qubit (e.g. the control for CX built with
+    the standard library).
     """
 
-    __slots__ = ("_gate", "_qubits")
+    __slots__ = ("_operation", "_qubits")
 
-    def __init__(self, gate: Gate, qubits: Sequence[int]) -> None:
-        if not isinstance(gate, Gate):
-            raise CircuitError(f"expected a Gate, got {type(gate).__name__}")
-        qubits = tuple(int(q) for q in qubits)
-        if len(qubits) != gate.num_qubits:
+    def __init__(self, operation: Operation, qubits: Sequence[int]) -> None:
+        if not isinstance(operation, (Gate, Channel)):
             raise CircuitError(
-                f"gate {gate.name!r} acts on {gate.num_qubits} qubit(s) but "
-                f"{len(qubits)} were given: {qubits}"
+                f"expected a Gate or Channel, got {type(operation).__name__}"
+            )
+        qubits = tuple(int(q) for q in qubits)
+        if len(qubits) != operation.num_qubits:
+            raise CircuitError(
+                f"operation {operation.name!r} acts on {operation.num_qubits} "
+                f"qubit(s) but {len(qubits)} were given: {qubits}"
             )
         if any(q < 0 for q in qubits):
             raise CircuitError(f"qubit indices must be non-negative: {qubits}")
         if len(set(qubits)) != len(qubits):
             raise CircuitError(f"duplicate qubit indices: {qubits}")
-        self._gate = gate
+        self._operation = operation
         self._qubits = qubits
 
     @property
+    def operation(self) -> Operation:
+        """The bound :class:`Gate` or :class:`Channel`."""
+        return self._operation
+
+    @property
     def gate(self) -> Gate:
-        return self._gate
+        """The bound :class:`Gate`; raises for channel instructions so
+        unitary-only consumers fail loudly instead of mis-simulating."""
+        if not isinstance(self._operation, Gate):
+            raise CircuitError(
+                f"instruction holds channel {self._operation.name!r}, not a "
+                "gate; check is_channel (or use a density-matrix backend)"
+            )
+        return self._operation
+
+    @property
+    def is_channel(self) -> bool:
+        """Whether the bound operation is a :class:`Channel`."""
+        return isinstance(self._operation, Channel)
 
     @property
     def qubits(self) -> Tuple[int, ...]:
         return self._qubits
 
     def inverse(self) -> "Instruction":
-        return Instruction(self._gate.inverse(), self._qubits)
+        if self.is_channel:
+            raise CircuitError(
+                f"channel {self._operation.name!r} is not invertible; "
+                "circuits containing channels have no inverse"
+            )
+        return Instruction(self._operation.inverse(), self._qubits)
 
     def remapped(self, mapping: Sequence[int]) -> "Instruction":
         """Return the instruction with each qubit ``q`` replaced by ``mapping[q]``."""
         try:
-            return Instruction(self._gate, tuple(mapping[q] for q in self._qubits))
+            return Instruction(
+                self._operation, tuple(mapping[q] for q in self._qubits)
+            )
         except IndexError:
             raise CircuitError(
                 f"qubit mapping of length {len(mapping)} cannot remap {self._qubits}"
@@ -56,11 +87,11 @@ class Instruction:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Instruction):
             return NotImplemented
-        return self._gate == other._gate and self._qubits == other._qubits
+        return self._operation == other._operation and self._qubits == other._qubits
 
     def __hash__(self) -> int:
-        return hash((self._gate, self._qubits))
+        return hash((self._operation, self._qubits))
 
     def __repr__(self) -> str:
         qubits = ", ".join(str(q) for q in self._qubits)
-        return f"Instruction({self._gate.name} @ [{qubits}])"
+        return f"Instruction({self._operation.name} @ [{qubits}])"

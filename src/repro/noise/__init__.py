@@ -1,0 +1,32 @@
+"""Noise layer: standard Kraus channels, readout error, and noise models.
+
+Quantum noise is expressed as :class:`~repro.circuit.Channel` objects —
+CPTP maps in Kraus form, validated trace-preserving — built by the channel
+library here (:func:`depolarizing`, :func:`amplitude_damping`, ...).
+Channels reach a simulation either embedded in the circuit
+(``Circuit.channel``) or declaratively through a :class:`NoiseModel`
+consumed by the density-matrix backend; classical :class:`ReadoutError`
+corrupts sampled probabilities in ``repro.sampling``.
+"""
+
+from repro.noise.channels import (
+    amplitude_damping,
+    bit_flip,
+    bit_phase_flip,
+    depolarizing,
+    phase_damping,
+    phase_flip,
+)
+from repro.noise.model import NoiseModel
+from repro.noise.readout import ReadoutError
+
+__all__ = [
+    "NoiseModel",
+    "ReadoutError",
+    "amplitude_damping",
+    "bit_flip",
+    "bit_phase_flip",
+    "depolarizing",
+    "phase_damping",
+    "phase_flip",
+]

@@ -1,0 +1,107 @@
+"""Standard Kraus channels: the noise-library counterpart of ``repro.gates``.
+
+Each builder returns an immutable :class:`~repro.circuit.Channel` whose
+Kraus set is trace-preserving by construction (and re-validated by the
+``Channel`` constructor, so a typo in a coefficient fails at build time,
+not as probability leaking out of a long simulation).
+
+Probability conventions follow Nielsen & Chuang: ``p`` is the total error
+probability of the channel, ``gamma``/``lam`` the damping strengths.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.circuit import Channel
+from repro.utils.exceptions import NoiseModelError
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_PAULIS = (_I, _X, _Y, _Z)
+
+
+def _check_probability(name: str, value: float, upper: float = 1.0) -> float:
+    value = float(value)
+    if not 0.0 <= value <= upper:
+        raise NoiseModelError(
+            f"{name} must lie in [0, {upper:g}], got {value}"
+        )
+    return value
+
+
+def _pauli_string(indices) -> np.ndarray:
+    matrix = _PAULIS[indices[0]]
+    for i in indices[1:]:
+        matrix = np.kron(matrix, _PAULIS[i])
+    return matrix
+
+
+def depolarizing(p: float, num_qubits: int = 1) -> Channel:
+    """The ``num_qubits``-qubit depolarizing channel with error probability ``p``.
+
+    With probability ``p`` the state is replaced by the maximally mixed
+    state: Kraus operators are ``sqrt(1 - p*(d**2-1)/d**2) I`` plus
+    ``sqrt(p/d**2) P`` for every non-identity Pauli string ``P``
+    (``d = 2**num_qubits``).
+    """
+    p = _check_probability("depolarizing probability", p)
+    if num_qubits < 1:
+        raise NoiseModelError(f"channel needs >= 1 qubit, got {num_qubits}")
+    if p == 0.0:
+        return Channel(
+            "depolarizing", num_qubits, [np.eye(1 << num_qubits)], params=(p,)
+        )
+    dim_sq = 4**num_qubits
+    kraus = [np.sqrt(1.0 - p * (dim_sq - 1) / dim_sq) * np.eye(1 << num_qubits)]
+    coeff = np.sqrt(p / dim_sq)
+    for indices in product(range(4), repeat=num_qubits):
+        if any(indices):  # skip the all-identity string (already in kraus[0])
+            kraus.append(coeff * _pauli_string(indices))
+    return Channel("depolarizing", num_qubits, kraus, params=(p,))
+
+
+def bit_flip(p: float) -> Channel:
+    """Flip the qubit (apply X) with probability ``p``."""
+    p = _check_probability("bit-flip probability", p)
+    return Channel(
+        "bit_flip", 1, [np.sqrt(1.0 - p) * _I, np.sqrt(p) * _X], params=(p,)
+    )
+
+
+def phase_flip(p: float) -> Channel:
+    """Flip the phase (apply Z) with probability ``p``."""
+    p = _check_probability("phase-flip probability", p)
+    return Channel(
+        "phase_flip", 1, [np.sqrt(1.0 - p) * _I, np.sqrt(p) * _Z], params=(p,)
+    )
+
+
+def bit_phase_flip(p: float) -> Channel:
+    """Apply Y (bit and phase flip together) with probability ``p``."""
+    p = _check_probability("bit-phase-flip probability", p)
+    return Channel(
+        "bit_phase_flip", 1, [np.sqrt(1.0 - p) * _I, np.sqrt(p) * _Y], params=(p,)
+    )
+
+
+def amplitude_damping(gamma: float) -> Channel:
+    """Energy relaxation (T1 decay): ``|1>`` decays to ``|0>`` with
+    probability ``gamma``."""
+    gamma = _check_probability("damping strength gamma", gamma)
+    k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - gamma)]], dtype=complex)
+    k1 = np.array([[0.0, np.sqrt(gamma)], [0.0, 0.0]], dtype=complex)
+    return Channel("amplitude_damping", 1, [k0, k1], params=(gamma,))
+
+
+def phase_damping(lam: float) -> Channel:
+    """Pure dephasing (T2 decay) with probability ``lam``: off-diagonal
+    coherences shrink, populations are untouched."""
+    lam = _check_probability("dephasing strength lambda", lam)
+    k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - lam)]], dtype=complex)
+    k1 = np.array([[0.0, 0.0], [0.0, np.sqrt(lam)]], dtype=complex)
+    return Channel("phase_damping", 1, [k0, k1], params=(lam,))

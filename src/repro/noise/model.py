@@ -1,0 +1,141 @@
+"""The :class:`NoiseModel`: attach channels to gates without editing circuits.
+
+A noise model is the declarative alternative to appending
+:class:`~repro.circuit.Channel` instructions by hand: rules of the form
+"after every ``cx``, depolarize both qubits" are matched against each gate
+instruction at simulation time by the density-matrix backend, plus an
+optional classical :class:`~repro.noise.readout.ReadoutError` applied by
+the sampling layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuit import Channel, Instruction
+from repro.noise.readout import ReadoutError
+from repro.utils.exceptions import NoiseModelError
+
+
+class _Rule:
+    """One (channel, gate-name filter, qubit filter) attachment."""
+
+    __slots__ = ("channel", "gates", "qubits")
+
+    def __init__(
+        self,
+        channel: Channel,
+        gates: "Optional[frozenset[str]]",
+        qubits: "Optional[frozenset[int]]",
+    ) -> None:
+        self.channel = channel
+        self.gates = gates
+        self.qubits = qubits
+
+
+class NoiseModel:
+    """An ordered set of channel-attachment rules plus optional readout error.
+
+    Rules fire *after* the gate they match, in the order they were added.
+    A one-qubit channel matched to a multi-qubit gate is applied
+    independently to each of the gate's qubits; a ``k``-qubit channel only
+    fires on ``k``-qubit gates (on the gate's qubit tuple).  Channel
+    instructions already present in a circuit never accumulate extra noise.
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self._name = name
+        self._rules: List[_Rule] = []
+        self._readout: Optional[ReadoutError] = None
+
+    @property
+    def name(self) -> Optional[str]:
+        return self._name
+
+    @property
+    def readout_error(self) -> Optional[ReadoutError]:
+        return self._readout
+
+    @property
+    def has_gate_noise(self) -> bool:
+        """Whether any channel rule is registered (readout error aside)."""
+        return bool(self._rules)
+
+    def add_channel(
+        self,
+        channel: Channel,
+        gates: Optional[Sequence[str]] = None,
+        qubits: Optional[Sequence[int]] = None,
+    ) -> "NoiseModel":
+        """Attach ``channel`` after matching gates; returns ``self`` to chain.
+
+        Parameters
+        ----------
+        channel:
+            The :class:`Channel` to apply.
+        gates:
+            Gate names the rule fires on; ``None`` matches every gate the
+            channel's arity fits.
+        qubits:
+            For one-qubit channels, restrict application to these qubit
+            indices; for wider channels, the rule fires only when the
+            gate's qubits are all in this set.  ``None`` matches all.
+        """
+        if not isinstance(channel, Channel):
+            raise NoiseModelError(
+                f"expected a Channel, got {type(channel).__name__}"
+            )
+        gate_filter = None
+        if gates is not None:
+            gate_filter = frozenset(str(g).lower() for g in gates)
+            if not gate_filter:
+                raise NoiseModelError("gates filter must not be empty")
+        qubit_filter = None
+        if qubits is not None:
+            qubit_filter = frozenset(int(q) for q in qubits)
+            if not qubit_filter or any(q < 0 for q in qubit_filter):
+                raise NoiseModelError(
+                    f"qubits filter must be non-empty and non-negative, got {qubits}"
+                )
+        self._rules.append(_Rule(channel, gate_filter, qubit_filter))
+        return self
+
+    def set_readout_error(self, error: ReadoutError) -> "NoiseModel":
+        """Set the classical readout error; returns ``self`` to chain."""
+        if not isinstance(error, ReadoutError):
+            raise NoiseModelError(
+                f"expected a ReadoutError, got {type(error).__name__}"
+            )
+        self._readout = error
+        return self
+
+    def channels_for(
+        self, instruction: Instruction
+    ) -> List[Tuple[Channel, Tuple[int, ...]]]:
+        """The ``(channel, qubits)`` applications fired by ``instruction``.
+
+        Returns an empty list for channel instructions (noise is not
+        noised) and for gates no rule matches.
+        """
+        if instruction.is_channel:
+            return []
+        out: List[Tuple[Channel, Tuple[int, ...]]] = []
+        name = instruction.operation.name
+        for rule in self._rules:
+            if rule.gates is not None and name not in rule.gates:
+                continue
+            if rule.channel.num_qubits == 1:
+                for q in instruction.qubits:
+                    if rule.qubits is None or q in rule.qubits:
+                        out.append((rule.channel, (q,)))
+            elif rule.channel.num_qubits == len(instruction.qubits):
+                if rule.qubits is None or set(instruction.qubits) <= rule.qubits:
+                    out.append((rule.channel, instruction.qubits))
+            # Arity mismatch (e.g. a 2-qubit channel on a 1-qubit gate):
+            # the rule simply does not fit this instruction.
+        return out
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        readout = ", readout" if self._readout is not None else ""
+        return f"NoiseModel({len(self._rules)} rule(s){readout}{label})"

@@ -1,0 +1,97 @@
+"""Classical readout (measurement-assignment) error.
+
+Readout error is not a quantum channel: it corrupts the *classical* record
+after the Born-rule measurement, so it composes with any backend and is
+applied by the sampling layer to the probability vector, never to the
+simulated state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.exceptions import NoiseModelError
+
+
+class ReadoutError:
+    """Independent per-qubit misassignment of measurement outcomes.
+
+    Parameters
+    ----------
+    p1_given_0:
+        Probability of recording ``1`` when the true outcome is ``0``.
+    p0_given_1:
+        Probability of recording ``0`` when the true outcome is ``1``.
+    """
+
+    __slots__ = ("_p1_given_0", "_p0_given_1", "_confusion")
+
+    def __init__(self, p1_given_0: float, p0_given_1: float) -> None:
+        for label, value in (
+            ("p1_given_0", p1_given_0),
+            ("p0_given_1", p0_given_1),
+        ):
+            if not 0.0 <= float(value) <= 1.0:
+                raise NoiseModelError(
+                    f"{label} must lie in [0, 1], got {value}"
+                )
+        self._p1_given_0 = float(p1_given_0)
+        self._p0_given_1 = float(p0_given_1)
+        # Column-stochastic confusion matrix: column = true bit, row =
+        # observed bit, so observed = confusion @ true per qubit axis.
+        confusion = np.array(
+            [
+                [1.0 - self._p1_given_0, self._p0_given_1],
+                [self._p1_given_0, 1.0 - self._p0_given_1],
+            ]
+        )
+        confusion.setflags(write=False)
+        self._confusion = confusion
+
+    @property
+    def p1_given_0(self) -> float:
+        return self._p1_given_0
+
+    @property
+    def p0_given_1(self) -> float:
+        return self._p0_given_1
+
+    @property
+    def confusion_matrix(self) -> np.ndarray:
+        """The (read-only) 2x2 column-stochastic confusion matrix."""
+        return self._confusion
+
+    def apply(self, probs: np.ndarray, num_qubits: int) -> np.ndarray:
+        """Corrupt a length-``2**num_qubits`` probability vector.
+
+        The confusion matrix is contracted onto every qubit axis of the
+        ``(2,) * n`` probability tensor — the classical analogue of the
+        simulator's gate contraction; no ``2**n x 2**n`` stochastic matrix
+        is ever built.
+        """
+        probs = np.asarray(probs, dtype=np.float64)
+        if probs.size != 1 << num_qubits:
+            raise NoiseModelError(
+                f"probability vector of length {probs.size} does not match "
+                f"{num_qubits} qubit(s)"
+            )
+        tensor = probs.reshape((2,) * num_qubits)
+        for axis in range(num_qubits):
+            tensor = np.moveaxis(
+                np.tensordot(self._confusion, tensor, axes=(1, axis)), 0, axis
+            )
+        return tensor.reshape(-1)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReadoutError):
+            return NotImplemented
+        return (
+            self._p1_given_0 == other._p1_given_0
+            and self._p0_given_1 == other._p0_given_1
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ReadoutError(p1_given_0={self._p1_given_0:g}, "
+            f"p0_given_1={self._p0_given_1:g})"
+        )

@@ -1,8 +1,19 @@
-"""Born-rule shot sampling of circuits and statevectors.
+"""Born-rule shot sampling of circuits and simulated states.
 
 Sampling never loops over shots: outcomes are drawn with a single vectorised
 ``Generator.multinomial`` (for counts) or ``Generator.choice`` (for per-shot
-memory) over the ``2**n`` probability vector.
+memory) over the ``2**n`` probability vector.  Sources may be circuits
+(simulated on any registered backend via ``backend=``), pure
+:class:`~repro.sim.Statevector` states, or mixed
+:class:`~repro.sim.DensityMatrix` states — density-matrix sampling reads
+the Born probabilities straight off the diagonal, so a noiseless
+density-matrix run reproduces the statevector backend's counts exactly
+under the same seed.
+
+Noise: a :class:`~repro.noise.NoiseModel` passed as ``noise_model=``
+applies its gate channels during simulation (circuit sources only; this
+requires the density-matrix backend) and its classical readout error to
+the probability vector just before the draw.
 
 Reproducibility contract: an integer ``seed`` plus a ``repetition`` index is
 mixed through :func:`repro.utils.rng.derive_seed`, so repeated runs of the
@@ -19,20 +30,30 @@ import numpy as np
 
 from repro.circuit import Circuit
 from repro.sampling.counts import Counts
-from repro.sim import Statevector, run
+from repro.sim import DensityMatrix, Statevector, run
+from repro.sim.registry import BackendLike
 from repro.utils.bitstrings import index_to_bitstring
 from repro.utils.exceptions import SimulationError
 from repro.utils.rng import SeedLike, derive_seed, ensure_rng
 
+Source = Union[Circuit, Statevector, DensityMatrix]
 
-def _resolve_state(source: Union[Circuit, Statevector]) -> Statevector:
+
+def _resolve_state(
+    source: Source, backend: BackendLike, noise_model
+) -> Union[Statevector, DensityMatrix]:
     if isinstance(source, Circuit):
-        return run(source)
-    if isinstance(source, Statevector):
+        return run(source, backend=backend, noise_model=noise_model)
+    if isinstance(source, (Statevector, DensityMatrix)):
+        if noise_model is not None and noise_model.has_gate_noise:
+            raise SimulationError(
+                "gate noise applies during simulation; pass the Circuit "
+                "itself (not an already-computed state) with a noise model"
+            )
         return source
     raise SimulationError(
         f"cannot sample from {type(source).__name__}; "
-        "expected a Circuit or Statevector"
+        "expected a Circuit, Statevector, or DensityMatrix"
     )
 
 
@@ -49,35 +70,41 @@ def _resolve_rng(seed: SeedLike, repetition: int) -> np.random.Generator:
 
 
 def _prepare(
-    source: Union[Circuit, Statevector],
+    source: Source,
     shots: int,
     seed: SeedLike,
     repetition: int,
+    backend: BackendLike,
+    noise_model,
 ):
-    """Shared sampling preamble: validate, simulate, seed, normalise."""
+    """Shared sampling preamble: validate, simulate, corrupt, seed, normalise."""
     if shots < 1:
         raise SimulationError(f"shots must be positive, got {shots}")
-    state = _resolve_state(source)
+    state = _resolve_state(source, backend, noise_model)
     rng = _resolve_rng(seed, repetition)
     # float64 even for complex64 states; guard against drift so the
     # probability vector sums to exactly 1 for multinomial/choice.
     probs = state.probabilities().astype(np.float64)
+    if noise_model is not None and noise_model.readout_error is not None:
+        probs = noise_model.readout_error.apply(probs, state.num_qubits)
     return state, rng, probs / probs.sum()
 
 
 def sample_counts(
-    source: Union[Circuit, Statevector],
+    source: Source,
     shots: int,
     seed: SeedLike = None,
     repetition: int = 0,
+    backend: BackendLike = None,
+    noise_model=None,
 ) -> Counts:
     """Sample ``shots`` measurement outcomes, aggregated into :class:`Counts`.
 
     Parameters
     ----------
     source:
-        A :class:`Circuit` (simulated on the default backend) or an already
-        computed :class:`Statevector`.
+        A :class:`Circuit` (simulated on ``backend``), or an already
+        computed :class:`Statevector` / :class:`DensityMatrix`.
     shots:
         Number of measurement shots (must be positive).
     seed:
@@ -87,8 +114,15 @@ def sample_counts(
     repetition:
         Index of this repetition of the experiment; distinct repetitions of
         the same integer seed draw from independent streams.
+    backend:
+        Backend name or instance for circuit sources (default
+        ``"statevector"``); ignored when ``source`` is a state.
+    noise_model:
+        Optional :class:`~repro.noise.NoiseModel`: gate channels applied
+        during simulation (circuit sources, density-matrix backend),
+        readout error applied to the probabilities before drawing.
     """
-    state, rng, probs = _prepare(source, shots, seed, repetition)
+    state, rng, probs = _prepare(source, shots, seed, repetition, backend, noise_model)
     draws = rng.multinomial(shots, probs)
     (indices,) = np.nonzero(draws)
     counts = {
@@ -99,12 +133,18 @@ def sample_counts(
 
 
 def sample_memory(
-    source: Union[Circuit, Statevector],
+    source: Source,
     shots: int,
     seed: SeedLike = None,
     repetition: int = 0,
+    backend: BackendLike = None,
+    noise_model=None,
 ) -> List[str]:
-    """Sample ``shots`` outcomes preserving per-shot order (a "memory" list)."""
-    state, rng, probs = _prepare(source, shots, seed, repetition)
+    """Sample ``shots`` outcomes preserving per-shot order (a "memory" list).
+
+    Accepts the same ``backend=`` / ``noise_model=`` configuration as
+    :func:`sample_counts`.
+    """
+    state, rng, probs = _prepare(source, shots, seed, repetition, backend, noise_model)
     indices = rng.choice(probs.size, size=shots, p=probs)
     return [index_to_bitstring(int(i), state.num_qubits) for i in indices]

@@ -1,11 +1,46 @@
-"""Vectorised statevector simulation backend.
+"""Simulation backends behind a unified registry.
 
-Gates are applied by tensor contraction on the ``(2,) * n`` reshaped
-statevector (axis ``q`` = qubit ``q``, per ``repro.utils.bitstrings``) —
-never by building ``2**n x 2**n`` operators.
+Two shipped backends, selected by name through :func:`get_backend` (or the
+``backend=`` argument of :func:`run` and the sampling layer):
+
+* ``"statevector"`` — pure states as ``(2,) * n`` tensors; gates applied
+  by ``numpy.tensordot`` contraction, never ``2**n x 2**n`` operators.
+* ``"density_matrix"`` — mixed states as ``(2,) * 2n`` tensors; gates as
+  ``U rho U†``, channels as Kraus sums, O(4**n) memory — never a dense
+  ``4**n x 4**n`` superoperator.
+
+User backends implementing the :class:`Backend` protocol join via
+:func:`register_backend`.
 """
 
-from repro.sim.statevector import Statevector
-from repro.sim.backend import StatevectorBackend, apply_gate_tensor, run
+from repro.sim.statevector import Statevector, norm_atol
+from repro.sim.registry import (
+    Backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    run,
+)
+from repro.sim.backend import StatevectorBackend, apply_gate_tensor
+from repro.sim.density import (
+    DensityMatrix,
+    DensityMatrixBackend,
+    apply_channel_to_density,
+    apply_matrix_to_density,
+)
 
-__all__ = ["Statevector", "StatevectorBackend", "apply_gate_tensor", "run"]
+__all__ = [
+    "Backend",
+    "DensityMatrix",
+    "DensityMatrixBackend",
+    "Statevector",
+    "StatevectorBackend",
+    "apply_channel_to_density",
+    "apply_gate_tensor",
+    "apply_matrix_to_density",
+    "available_backends",
+    "get_backend",
+    "norm_atol",
+    "register_backend",
+    "run",
+]

@@ -14,6 +14,7 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.circuit import Circuit
+from repro.sim.registry import register_backend
 from repro.sim.statevector import Statevector
 from repro.utils.exceptions import SimulationError
 
@@ -64,6 +65,7 @@ class StatevectorBackend:
         initial_state: Union[None, str, Statevector] = None,
         optimize: bool = False,
         passes=None,
+        noise_model=None,
     ) -> Statevector:
         """Simulate ``circuit`` and return the final :class:`Statevector`.
 
@@ -74,10 +76,21 @@ class StatevectorBackend:
         drops, inverse-pair cancellation, gate fusion); ``passes``
         supplies a custom pipeline (a :class:`~repro.transpile.PassManager`
         or a sequence of passes) and implies optimisation.
+
+        ``noise_model`` exists for :class:`~repro.sim.registry.Backend`
+        protocol uniformity: a model with gate-noise rules is rejected (a
+        pure state cannot represent Kraus mixing — use the
+        ``density_matrix`` backend), while a readout-error-only model is
+        accepted and applied by the sampling layer, not here.
         """
         if not isinstance(circuit, Circuit):
             raise SimulationError(
                 f"expected a Circuit, got {type(circuit).__name__}"
+            )
+        if noise_model is not None and getattr(noise_model, "has_gate_noise", False):
+            raise SimulationError(
+                "the statevector backend cannot apply gate noise; "
+                "use backend='density_matrix'"
             )
         if optimize or passes is not None:
             # Imported lazily: the transpiler consumes the same circuit IR
@@ -86,6 +99,14 @@ class StatevectorBackend:
             from repro.transpile import transpile
 
             circuit = transpile(circuit, passes=passes)
+        # Refuse channel circuits before allocating or sweeping the state:
+        # the error is knowable in O(gates), not after seconds of tensordot.
+        if circuit.has_channels():
+            raise SimulationError(
+                "circuit contains channel instructions; the statevector "
+                "backend only simulates unitary gates — use "
+                "backend='density_matrix'"
+            )
         n = circuit.num_qubits
         if initial_state is None:
             state = np.zeros((2,) * n, dtype=self._dtype)
@@ -115,19 +136,9 @@ class StatevectorBackend:
 
         for instruction in circuit:
             state = apply_gate_tensor(
-                state, instruction.gate.matrix, instruction.qubits
+                state, instruction.operation.matrix, instruction.qubits
             )
         return Statevector(state.reshape(-1), validate=False)
 
 
-_DEFAULT_BACKEND = StatevectorBackend()
-
-
-def run(
-    circuit: Circuit,
-    initial_state: Union[None, str, Statevector] = None,
-    optimize: bool = False,
-    passes=None,
-) -> Statevector:
-    """Simulate ``circuit`` on the shared default :class:`StatevectorBackend`."""
-    return _DEFAULT_BACKEND.run(circuit, initial_state, optimize=optimize, passes=passes)
+register_backend("statevector", StatevectorBackend)

@@ -1,0 +1,360 @@
+"""Mixed-state simulation: the :class:`DensityMatrix` type and its backend.
+
+The density operator of an ``n``-qubit register lives as a ``(2,) * 2n``
+tensor — the first ``n`` axes index rows (kets), the last ``n`` columns
+(bras), both in the library's qubit-axis convention.  A gate ``U`` on
+targets ``t`` evolves ``rho -> U rho U†`` as *two* tensordot contractions
+(``U`` on the row axes ``t``, ``conj(U)`` on the column axes ``n + t``),
+each O(4**n * 2**k); a Kraus channel is the sum of such conjugations over
+its operators.  Nothing ever materialises a dense ``4**n x 4**n``
+superoperator — memory stays O(4**n), the square of the statevector cost
+and the price of admission for open-system dynamics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Union
+
+import numpy as np
+
+from repro.circuit import Circuit
+from repro.sim.backend import apply_gate_tensor
+from repro.sim.registry import register_backend
+from repro.sim.statevector import Statevector, _index, norm_atol
+from repro.utils.bitstrings import index_to_bitstring
+from repro.utils.exceptions import SimulationError
+
+_ATOL = 1e-10
+
+
+class DensityMatrix:
+    """A trace-one Hermitian density operator of an ``n``-qubit register.
+
+    Matrix element ``rho[i, j]`` couples basis states ``i`` (ket) and
+    ``j`` (bra) in the flat bitstring-index convention; :meth:`tensor`
+    returns the ``(2,) * 2n`` view whose axis ``q`` (rows) / ``n + q``
+    (columns) indexes qubit ``q``.
+    """
+
+    __slots__ = ("_data", "_num_qubits")
+
+    def __init__(self, data: np.ndarray, validate: bool = True) -> None:
+        data = np.asarray(data)
+        dtype = np.complex64 if data.dtype == np.complex64 else np.complex128
+        data = data.astype(dtype)
+        if data.ndim != 2 or data.shape[0] != data.shape[1]:
+            raise SimulationError(
+                f"density matrix must be square, got shape {data.shape}"
+            )
+        size = data.shape[0]
+        num_qubits = int(size).bit_length() - 1
+        if size < 2 or (1 << num_qubits) != size:
+            raise SimulationError(
+                f"density matrix dimension {size} is not a power of two >= 2"
+            )
+        data.setflags(write=False)
+        if validate:
+            atol = norm_atol(data.dtype)
+            trace = complex(np.trace(data))
+            if abs(trace - 1.0) > atol:
+                raise SimulationError(
+                    f"density matrix has trace {trace:.6g}, expected 1"
+                )
+            if not np.allclose(data, data.conj().T, rtol=0.0, atol=atol):
+                raise SimulationError("density matrix is not Hermitian")
+        self._data = data
+        self._num_qubits = num_qubits
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "DensityMatrix":
+        """The pure projector ``|0...0><0...0|``."""
+        if num_qubits < 1:
+            raise SimulationError(f"need >= 1 qubit, got {num_qubits}")
+        data = np.zeros((1 << num_qubits,) * 2, dtype=complex)
+        data[0, 0] = 1.0
+        return cls(data, validate=False)
+
+    @classmethod
+    def from_statevector(cls, state: Statevector) -> "DensityMatrix":
+        """The pure projector ``|psi><psi|`` of ``state``."""
+        amplitudes = state.data
+        return cls(np.outer(amplitudes, amplitudes.conj()), validate=False)
+
+    @classmethod
+    def from_bitstring(cls, bitstring: str) -> "DensityMatrix":
+        """The computational-basis projector ``|bitstring><bitstring|``."""
+        index = _index(bitstring)
+        data = np.zeros((1 << len(bitstring),) * 2, dtype=complex)
+        data[index, index] = 1.0
+        return cls(data, validate=False)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def data(self) -> np.ndarray:
+        """The flat ``2**n x 2**n`` density matrix (a copy)."""
+        return self._data.copy()
+
+    def tensor(self) -> np.ndarray:
+        """The ``(2,) * 2n`` tensor view (read-only); axis ``q`` indexes the
+        row bit of qubit ``q``, axis ``n + q`` its column bit."""
+        return self._data.reshape((2,) * (2 * self._num_qubits))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        """Born probabilities over all ``2**n`` basis states (the diagonal).
+
+        Tiny negative diagonal entries from floating-point drift are
+        clipped to zero so downstream multinomial sampling never sees a
+        negative probability.
+        """
+        return np.clip(np.diagonal(self._data).real.astype(np.float64), 0.0, None)
+
+    def probability(self, bitstring: str) -> float:
+        if len(bitstring) != self._num_qubits:
+            raise SimulationError(
+                f"bitstring {bitstring!r} has {len(bitstring)} bits, "
+                f"state has {self._num_qubits} qubits"
+            )
+        index = _index(bitstring)
+        return float(max(self._data[index, index].real, 0.0))
+
+    def probabilities_dict(self, threshold: float = _ATOL) -> Dict[str, float]:
+        """Bitstring -> probability for outcomes above ``threshold``."""
+        probs = self.probabilities()
+        (indices,) = np.nonzero(probs > threshold)
+        return {
+            index_to_bitstring(int(i), self._num_qubits): float(probs[i])
+            for i in indices
+        }
+
+    def trace(self) -> float:
+        """``tr(rho)`` (1 for a valid state, up to floating point)."""
+        return float(np.trace(self._data).real)
+
+    def purity(self) -> float:
+        """``tr(rho**2)``: 1 for pure states, ``1/2**n`` when maximally mixed."""
+        return float(np.sum(np.abs(self._data) ** 2))
+
+    def expectation(self, matrix: np.ndarray, qubits: Sequence[int]) -> complex:
+        """``tr(rho M)`` for operator ``matrix`` acting on ``qubits``."""
+        qubits = tuple(int(q) for q in qubits)
+        if any(q < 0 or q >= self._num_qubits for q in qubits):
+            raise SimulationError(
+                f"qubits {qubits} out of range for {self._num_qubits}-qubit state"
+            )
+        if len(set(qubits)) != len(qubits):
+            raise SimulationError(f"duplicate qubit indices: {qubits}")
+        matrix = np.asarray(matrix, dtype=complex)
+        dim = 1 << len(qubits)
+        if matrix.shape != (dim, dim):
+            raise SimulationError(
+                f"operator shape {matrix.shape} does not match qubits {qubits}"
+            )
+        # tr(rho M) contracts M onto the *row* axes then traces; applying
+        # it via the shared gate contraction keeps the no-dense-operator
+        # guarantee.
+        applied = apply_gate_tensor(self.tensor(), matrix, qubits)
+        applied = applied.reshape(1 << self._num_qubits, 1 << self._num_qubits)
+        return complex(np.trace(applied))
+
+    def expectation_z(self, qubit: int) -> float:
+        """``<Z_qubit>`` computed directly from the diagonal."""
+        if qubit < 0 or qubit >= self._num_qubits:
+            raise SimulationError(
+                f"qubit {qubit} out of range for {self._num_qubits}-qubit state"
+            )
+        probs = self.probabilities().reshape((2,) * self._num_qubits)
+        marginal = np.moveaxis(probs, qubit, 0).reshape(2, -1).sum(axis=1)
+        return float(marginal[0] - marginal[1])
+
+    def fidelity(self, other: Union[Statevector, "DensityMatrix"]) -> float:
+        """State fidelity with a pure or mixed ``other``.
+
+        Against a :class:`Statevector` this is ``<psi| rho |psi>``;
+        against another density matrix, the Uhlmann fidelity
+        ``tr(sqrt(sqrt(rho) sigma sqrt(rho)))**2`` via eigendecomposition.
+        """
+        if isinstance(other, Statevector):
+            if other.num_qubits != self._num_qubits:
+                raise SimulationError(
+                    f"cannot compare {self._num_qubits}- and "
+                    f"{other.num_qubits}-qubit states"
+                )
+            psi = other.data
+            return float(np.real(psi.conj() @ self._data @ psi))
+        if isinstance(other, DensityMatrix):
+            if other.num_qubits != self._num_qubits:
+                raise SimulationError(
+                    f"cannot compare {self._num_qubits}- and "
+                    f"{other.num_qubits}-qubit states"
+                )
+            values, vectors = np.linalg.eigh(self._data)
+            sqrt_rho = (vectors * np.sqrt(np.clip(values, 0.0, None))) @ vectors.conj().T
+            inner = sqrt_rho @ other._data @ sqrt_rho
+            eigenvalues = np.linalg.eigvalsh(inner)
+            return float(np.sum(np.sqrt(np.clip(eigenvalues, 0.0, None))) ** 2)
+        raise SimulationError(
+            f"cannot compute fidelity against {type(other).__name__}"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DensityMatrix):
+            return NotImplemented
+        # rtol=0: the comparison tolerance is absolute (matrix entries are
+        # bounded by 1), as everywhere else in the library.
+        return self._num_qubits == other._num_qubits and np.allclose(
+            self._data, other._data, rtol=0.0, atol=_ATOL
+        )
+
+    def __repr__(self) -> str:
+        return f"DensityMatrix({self._num_qubits} qubits, purity {self.purity():.4g})"
+
+
+def apply_matrix_to_density(
+    rho: np.ndarray, matrix: np.ndarray, targets: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """``K rho K†`` on a ``(2,) * 2n`` density tensor, by two contractions."""
+    rho = apply_gate_tensor(rho, matrix, targets)
+    column_axes = tuple(num_qubits + t for t in targets)
+    return apply_gate_tensor(rho, np.conj(matrix), column_axes)
+
+
+def apply_channel_to_density(
+    rho: np.ndarray,
+    kraus: Sequence[np.ndarray],
+    targets: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """``sum_i K_i rho K_i†`` on a ``(2,) * 2n`` density tensor."""
+    total = None
+    for operator in kraus:
+        term = apply_matrix_to_density(rho, operator, targets, num_qubits)
+        total = term if total is None else total + term
+    return total
+
+
+class DensityMatrixBackend:
+    """Executes :class:`~repro.circuit.Circuit` IR on a dense density matrix.
+
+    Handles everything the statevector backend cannot: circuits containing
+    :class:`~repro.circuit.Channel` instructions and declarative
+    :class:`~repro.noise.NoiseModel` noise, at O(4**n) memory.  Noiseless
+    circuits produce the pure projector of the statevector result, so the
+    two backends agree exactly on Born probabilities.
+
+    Parameters
+    ----------
+    dtype:
+        Element dtype, ``complex128`` (default) or ``complex64`` for
+        halved memory on wide registers.
+    """
+
+    name = "density_matrix"
+
+    def __init__(self, dtype: np.dtype = np.complex128) -> None:
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.complex64), np.dtype(np.complex128)):
+            raise SimulationError(f"unsupported density-matrix dtype {dtype}")
+        self._dtype = dtype
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    def _initial_tensor(
+        self,
+        num_qubits: int,
+        initial_state: Union[None, str, Statevector, DensityMatrix],
+    ) -> np.ndarray:
+        shape = (2,) * (2 * num_qubits)
+        if initial_state is None:
+            rho = np.zeros(shape, dtype=self._dtype)
+            rho[(0,) * (2 * num_qubits)] = 1.0
+            return rho
+        if isinstance(initial_state, str):
+            if len(initial_state) != num_qubits:
+                raise SimulationError(
+                    f"initial bitstring {initial_state!r} has "
+                    f"{len(initial_state)} bits, circuit has {num_qubits} qubits"
+                )
+            return (
+                DensityMatrix.from_bitstring(initial_state)
+                .data.astype(self._dtype)
+                .reshape(shape)
+            )
+        if isinstance(initial_state, Statevector):
+            if initial_state.num_qubits != num_qubits:
+                raise SimulationError(
+                    f"initial state has {initial_state.num_qubits} qubits, "
+                    f"circuit has {num_qubits}"
+                )
+            return (
+                DensityMatrix.from_statevector(initial_state)
+                .data.astype(self._dtype)
+                .reshape(shape)
+            )
+        if isinstance(initial_state, DensityMatrix):
+            if initial_state.num_qubits != num_qubits:
+                raise SimulationError(
+                    f"initial state has {initial_state.num_qubits} qubits, "
+                    f"circuit has {num_qubits}"
+                )
+            return initial_state.data.astype(self._dtype).reshape(shape)
+        raise SimulationError(
+            f"cannot initialise from {type(initial_state).__name__}"
+        )
+
+    def run(
+        self,
+        circuit: Circuit,
+        initial_state: Union[None, str, Statevector, DensityMatrix] = None,
+        optimize: bool = False,
+        passes=None,
+        noise_model=None,
+    ) -> DensityMatrix:
+        """Simulate ``circuit`` and return the final :class:`DensityMatrix`.
+
+        ``noise_model`` attaches channels after matching gate instructions
+        (see :class:`~repro.noise.NoiseModel`); channel instructions
+        embedded in the circuit are applied as written.  ``optimize`` /
+        ``passes`` transpile first, exactly as for the statevector backend
+        (channels act as barriers, so noise placement survives fusion).
+        """
+        if not isinstance(circuit, Circuit):
+            raise SimulationError(
+                f"expected a Circuit, got {type(circuit).__name__}"
+            )
+        if optimize or passes is not None:
+            from repro.transpile import transpile
+
+            circuit = transpile(circuit, passes=passes)
+        n = circuit.num_qubits
+        rho = self._initial_tensor(n, initial_state)
+        for instruction in circuit:
+            if instruction.is_channel:
+                rho = apply_channel_to_density(
+                    rho, instruction.operation.kraus, instruction.qubits, n
+                )
+            else:
+                rho = apply_matrix_to_density(
+                    rho, instruction.operation.matrix, instruction.qubits, n
+                )
+                if noise_model is not None:
+                    for channel, qubits in noise_model.channels_for(instruction):
+                        rho = apply_channel_to_density(rho, channel.kraus, qubits, n)
+        dim = 1 << n
+        return DensityMatrix(rho.reshape(dim, dim), validate=False)
+
+
+register_backend("density_matrix", DensityMatrixBackend)

@@ -1,0 +1,118 @@
+"""Backend protocol and the name -> backend registry.
+
+Every simulator exposes the same :class:`Backend` surface —
+``run(circuit, initial_state=None, optimize=..., passes=..., noise_model=...)``
+returning a state object with ``num_qubits`` and ``probabilities()`` — so
+the sampler and bench harness dispatch by *name* through
+:func:`get_backend` instead of hard-coding a backend class.  Backends
+register themselves at import time (``repro.sim`` imports both shipped
+backends), and user backends join via :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Protocol, Union, runtime_checkable
+
+from repro.circuit import Circuit
+from repro.utils.exceptions import SimulationError
+
+DEFAULT_BACKEND = "statevector"
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Structural contract every simulation backend satisfies."""
+
+    name: str
+
+    def run(
+        self,
+        circuit: Circuit,
+        initial_state=None,
+        optimize: bool = False,
+        passes=None,
+        noise_model=None,
+    ):  # pragma: no cover - protocol signature only
+        ...
+
+
+BackendLike = Union[None, str, Backend]
+
+_FACTORIES: Dict[str, Callable[[], Backend]] = {}
+_INSTANCES: Dict[str, Backend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register ``factory`` as the constructor for backend ``name``.
+
+    The factory is called lazily, once, on the first :func:`get_backend`
+    lookup; the instance is then shared (backends are stateless between
+    runs).  Re-registering an existing name raises — the registry is a
+    process-wide namespace, as for gates.
+    """
+    key = str(name).lower()
+    if key in _FACTORIES:
+        raise SimulationError(f"backend {name!r} is already registered")
+    if not callable(factory):
+        raise SimulationError(
+            f"backend factory for {name!r} must be callable, got {factory!r}"
+        )
+    _FACTORIES[key] = factory
+
+
+def available_backends() -> "tuple[str, ...]":
+    """Registered backend names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_backend(backend: BackendLike = None) -> Backend:
+    """Resolve ``backend`` to a live backend instance.
+
+    ``None`` means the default (``"statevector"``); a string is looked up
+    in the registry; an object that already quacks like a backend (has
+    ``run`` and ``name``) is passed through so callers can hand in a
+    specially configured instance (e.g. a ``complex64`` backend).
+    """
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    if isinstance(backend, str):
+        key = backend.lower()
+        if key not in _FACTORIES:
+            raise SimulationError(
+                f"unknown backend {backend!r}; available: "
+                f"{', '.join(available_backends())}"
+            )
+        if key not in _INSTANCES:
+            _INSTANCES[key] = _FACTORIES[key]()
+        return _INSTANCES[key]
+    if callable(getattr(backend, "run", None)) and hasattr(backend, "name"):
+        return backend
+    raise SimulationError(
+        f"cannot resolve a backend from {type(backend).__name__}; "
+        "pass a name, a backend instance, or None"
+    )
+
+
+def run(
+    circuit: Circuit,
+    initial_state=None,
+    optimize: bool = False,
+    passes=None,
+    backend: BackendLike = None,
+    noise_model=None,
+):
+    """Simulate ``circuit`` on ``backend`` (default ``"statevector"``).
+
+    The unified entry point: ``backend`` selects the simulator by name or
+    instance, ``noise_model`` attaches declarative noise (density-matrix
+    backend only).  Returns whatever state type the backend produces
+    (:class:`~repro.sim.Statevector` or
+    :class:`~repro.sim.DensityMatrix`).
+    """
+    return get_backend(backend).run(
+        circuit,
+        initial_state,
+        optimize=optimize,
+        passes=passes,
+        noise_model=noise_model,
+    )

@@ -12,6 +12,18 @@ from repro.utils.exceptions import SimulationError
 _ATOL = 1e-10
 
 
+def norm_atol(dtype: np.dtype) -> float:
+    """Normalisation tolerance scaled to ``dtype`` precision.
+
+    ``sqrt(eps)`` of the dtype's underlying float: ~1.5e-8 for
+    ``complex128`` and ~3.5e-4 for ``complex64``.  A fixed tolerance tuned
+    for double precision spuriously rejects valid single-precision states
+    after deep circuits, where per-gate rounding accumulates at float32
+    scale.
+    """
+    return float(np.sqrt(np.finfo(np.dtype(dtype)).eps))
+
+
 def _index(bitstring: str) -> int:
     """bitstring_to_index, re-raised under the sim layer's error contract."""
     try:
@@ -47,7 +59,7 @@ class Statevector:
             )
         if validate:
             norm = np.linalg.norm(data)
-            if abs(norm - 1.0) > 1e-8:
+            if abs(norm - 1.0) > norm_atol(data.dtype):
                 raise SimulationError(
                     f"statevector is not normalised (norm {norm:.6g})"
                 )
@@ -166,8 +178,10 @@ class Statevector:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Statevector):
             return NotImplemented
+        # rtol=0 as for DensityMatrix: amplitudes are bounded by 1, so the
+        # advertised _ATOL must be absolute, not dominated by rtol's 1e-5.
         return self._num_qubits == other._num_qubits and np.allclose(
-            self._data, other._data, atol=_ATOL
+            self._data, other._data, rtol=0.0, atol=_ATOL
         )
 
     def __repr__(self) -> str:

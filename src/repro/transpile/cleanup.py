@@ -46,8 +46,12 @@ class DropIdentities(Pass):
     def run(self, circuit: Circuit) -> Circuit:
         out = Circuit(circuit.num_qubits, circuit.name)
         for instruction in circuit:
-            if not self._is_droppable(instruction.gate.matrix):
-                out.append(instruction.gate, instruction.qubits)
+            # Channels are never identities (they are irreversible maps);
+            # keep them verbatim.
+            if instruction.is_channel or not self._is_droppable(
+                instruction.gate.matrix
+            ):
+                out.append(instruction.operation, instruction.qubits)
         return out
 
 
@@ -98,6 +102,11 @@ class CancelInversePairs(Pass):
             if (
                 blocker is not None
                 and kept[blocker].qubits == instruction.qubits
+                # Channels neither cancel nor are cancelled: a channel is
+                # not the inverse of anything, and a channel blocker pins
+                # the gates behind it (no commuting past irreversible maps).
+                and not instruction.is_channel
+                and not kept[blocker].is_channel
                 and self._are_inverse(kept[blocker].gate, instruction.gate)
             ):
                 kept.pop(blocker)
@@ -105,5 +114,5 @@ class CancelInversePairs(Pass):
                 kept.append(instruction)
         out = Circuit(circuit.num_qubits, circuit.name)
         for instruction in kept:
-            out.append(instruction.gate, instruction.qubits)
+            out.append(instruction.operation, instruction.qubits)
         return out

@@ -122,9 +122,12 @@ class FuseAdjacentGates(Pass):
             group = None
 
         for instruction in circuit:
-            if len(instruction.qubits) > self.max_width:
+            # Channels are fusion barriers: a Kraus map has no single
+            # matrix to fold into a unitary product, and reordering noise
+            # relative to gates changes the simulated distribution.
+            if instruction.is_channel or len(instruction.qubits) > self.max_width:
                 flush()
-                out.append(instruction.gate, instruction.qubits)
+                out.append(instruction.operation, instruction.qubits)
                 continue
             if group is None:
                 group = _FusionGroup(instruction)

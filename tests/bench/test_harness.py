@@ -1,6 +1,7 @@
 """Tests for the bench harness and its CLI."""
 
 import json
+import math
 import os
 import subprocess
 import sys
@@ -11,11 +12,13 @@ import repro
 
 from repro.bench import SCHEMA_VERSION, Workload, run_suite
 from repro.bench.__main__ import main
-from repro.bench.workloads import ghz, layered_rotations
+from repro.bench.workloads import ghz, ghz_depolarizing, layered_rotations
 
 _ROW_KEYS = {
     "name",
     "num_qubits",
+    "backend",
+    "noise",
     "gates_unfused",
     "gates_fused",
     "depth_unfused",
@@ -28,6 +31,15 @@ _ROW_KEYS = {
 }
 
 
+def _strict_loads(payload: str):
+    """json.loads rejecting the non-standard Infinity/NaN tokens."""
+
+    def _reject(token):
+        raise ValueError(f"non-standard JSON constant: {token}")
+
+    return json.loads(payload, parse_constant=_reject)
+
+
 @pytest.fixture(scope="module")
 def smoke_report():
     return run_suite(smoke=True, shots=256, repeats=1)
@@ -35,13 +47,14 @@ def smoke_report():
 
 class TestRunSuite:
     def test_schema(self, smoke_report):
-        assert smoke_report["schema_version"] == SCHEMA_VERSION
+        assert smoke_report["schema_version"] == SCHEMA_VERSION == 2
         assert smoke_report["config"]["smoke"] is True
+        assert smoke_report["config"]["backend"] == "statevector"
         for row in smoke_report["workloads"]:
             assert set(row) == _ROW_KEYS
 
     def test_json_serialisable(self, smoke_report):
-        round_trip = json.loads(json.dumps(smoke_report))
+        round_trip = _strict_loads(json.dumps(smoke_report))
         assert round_trip["schema_version"] == SCHEMA_VERSION
 
     def test_counts_match_everywhere(self, smoke_report):
@@ -61,6 +74,8 @@ class TestRunSuite:
         )
         assert len(report["workloads"]) == 1
         assert report["workloads"][0]["name"] == "ghz"
+        assert report["workloads"][0]["backend"] == "statevector"
+        assert report["workloads"][0]["noise"] is None
 
     def test_timings_positive(self, smoke_report):
         for row in smoke_report["workloads"]:
@@ -68,14 +83,205 @@ class TestRunSuite:
             assert row["run_time_fused_s"] > 0
             assert row["transpile_time_s"] >= 0
 
+    def test_smoke_defaults_to_one_repeat(self):
+        report = run_suite(
+            workloads=[Workload("ghz", 2, lambda: ghz(2))], smoke=True, shots=16
+        )
+        assert report["config"]["repeats"] == 1
+
+    def test_smoke_repeats_overridable(self):
+        report = run_suite(
+            workloads=[Workload("ghz", 2, lambda: ghz(2))],
+            smoke=True,
+            shots=16,
+            repeats=2,
+        )
+        assert report["config"]["repeats"] == 2
+
+    def test_non_smoke_defaults_to_three_repeats(self):
+        report = run_suite(
+            workloads=[Workload("ghz", 2, lambda: ghz(2))], shots=16
+        )
+        assert report["config"]["repeats"] == 3
+
+    def test_zero_fused_time_emits_null_speedup(self, monkeypatch):
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness, "_best_time", lambda fn, repeats: 0.0)
+        report = run_suite(
+            workloads=[Workload("ghz", 2, lambda: ghz(2))], shots=16, repeats=1
+        )
+        row = report["workloads"][0]
+        assert row["speedup"] is None
+        # The regression this guards: float("inf") serialises as the
+        # non-standard ``Infinity`` token and breaks strict JSON parsers.
+        payload = json.dumps(report)
+        assert "Infinity" not in payload
+        assert _strict_loads(payload)["workloads"][0]["speedup"] is None
+
+    def test_speedup_never_non_finite(self, smoke_report):
+        for row in smoke_report["workloads"]:
+            assert row["speedup"] is None or math.isfinite(row["speedup"])
+
+
+class TestDensityWorkloads:
+    def test_smoke_suite_includes_density_rows(self, smoke_report):
+        density = [
+            r for r in smoke_report["workloads"] if r["backend"] == "density_matrix"
+        ]
+        assert {r["name"] for r in density} == {"ghz_depolarizing", "layered_damped"}
+        for row in density:
+            assert row["noise"] is not None
+            assert row["counts_match"]
+
+    def test_workload_backend_overrides_suite_default(self):
+        report = run_suite(
+            workloads=[
+                Workload(
+                    "ghz_depolarizing",
+                    2,
+                    lambda: ghz_depolarizing(2),
+                    backend="density_matrix",
+                    noise="depolarizing(p=0.02)",
+                )
+            ],
+            shots=32,
+            repeats=1,
+            backend="statevector",
+        )
+        row = report["workloads"][0]
+        assert row["backend"] == "density_matrix"
+        assert row["noise"] == "depolarizing(p=0.02)"
+        assert row["counts_match"]
+
+    def test_layered_damped_still_fuses(self, smoke_report):
+        rows = [r for r in smoke_report["workloads"] if r["name"] == "layered_damped"]
+        assert rows
+        for row in rows:
+            assert row["gates_fused"] < row["gates_unfused"]
+
+    def test_density_width_cap_refuses_wide_workloads(self):
+        from repro.utils.exceptions import SimulationError
+
+        with pytest.raises(SimulationError, match="4\\*\\*n"):
+            run_suite(
+                workloads=[Workload("ghz", 16, lambda: ghz(16))],
+                shots=16,
+                repeats=1,
+                backend="density_matrix",
+            )
+
+    def test_backend_instance_is_normalised_to_name(self):
+        from repro.sim import DensityMatrixBackend
+        from repro.utils.exceptions import SimulationError
+
+        # An instance must hit the same width cap as its name...
+        with pytest.raises(SimulationError, match="4\\*\\*n"):
+            run_suite(
+                workloads=[Workload("ghz", 16, lambda: ghz(16))],
+                shots=16,
+                repeats=1,
+                backend=DensityMatrixBackend(),
+            )
+        # ...and the report must carry the name (JSON-serialisable), not
+        # the object.
+        report = run_suite(
+            workloads=[Workload("ghz", 2, lambda: ghz(2))],
+            shots=16,
+            repeats=1,
+            backend=DensityMatrixBackend(),
+        )
+        assert report["config"]["backend"] == "density_matrix"
+        assert report["workloads"][0]["backend"] == "density_matrix"
+        json.dumps(report)
+
+    def test_full_default_suite_respects_density_cap(self):
+        from repro.bench.harness import DENSITY_WIDTH_CAP
+        from repro.bench.workloads import default_workloads
+
+        for workload in default_workloads():
+            if workload.backend == "density_matrix":
+                assert workload.num_qubits <= DENSITY_WIDTH_CAP
+
+    def test_gate_noise_model_requires_density_backend(self):
+        from repro.noise import NoiseModel, bit_flip
+        from repro.utils.exceptions import SimulationError
+
+        model = NoiseModel().add_channel(bit_flip(0.1))
+        with pytest.raises(SimulationError, match="density_matrix"):
+            run_suite(
+                workloads=[Workload("ghz", 2, lambda: ghz(2))],
+                shots=16,
+                repeats=1,
+                noise_model=model,
+            )
+        # The documented usage: density backend accepts the model (the
+        # fused circuit is a different open system, so counts may differ —
+        # no assertion on counts_match here).
+        report = run_suite(
+            workloads=[Workload("ghz", 2, lambda: ghz(2))],
+            shots=16,
+            repeats=1,
+            backend="density_matrix",
+            noise_model=model,
+        )
+        assert report["workloads"][0]["backend"] == "density_matrix"
+        # The applied model is recorded, both suite-wide and per row.
+        assert report["config"]["noise_model"] == "noise_model"
+        assert report["workloads"][0]["noise"] == "noise_model"
+
+    def test_named_noise_model_label_combines_with_embedded_noise(self):
+        from repro.noise import NoiseModel, bit_flip
+
+        model = NoiseModel("flippy").add_channel(bit_flip(0.05))
+        report = run_suite(
+            workloads=[
+                Workload(
+                    "ghz_depolarizing",
+                    2,
+                    lambda: ghz_depolarizing(2),
+                    backend="density_matrix",
+                    noise="depolarizing(p=0.02)",
+                )
+            ],
+            shots=16,
+            repeats=1,
+            noise_model=model,
+        )
+        assert report["config"]["noise_model"] == "flippy"
+        assert report["workloads"][0]["noise"] == "depolarizing(p=0.02) + flippy"
+
+    def test_channel_workload_on_statevector_refused_upfront(self):
+        from repro.utils.exceptions import SimulationError
+
+        # No backend pin: a channel-bearing circuit would land on the
+        # statevector default — the plan validation must refuse before
+        # benching anything.
+        with pytest.raises(SimulationError, match="density_matrix"):
+            run_suite(
+                workloads=[
+                    Workload("ghz", 3, lambda: ghz(3)),
+                    Workload("noisy", 2, lambda: ghz_depolarizing(2)),
+                ],
+                shots=16,
+                repeats=1,
+            )
+
 
 class TestCli:
     def test_main_json_smoke(self, capsys):
         exit_code = main(["--json", "--smoke", "--shots", "64"])
         assert exit_code == 0
-        report = json.loads(capsys.readouterr().out)
+        report = _strict_loads(capsys.readouterr().out)
         assert report["schema_version"] == SCHEMA_VERSION
         assert report["config"]["repeats"] == 1  # smoke defaults to one repeat
+
+    def test_main_density_backend_full_size_refused_cleanly(self, capsys):
+        # --backend density_matrix without --smoke targets n=16 workloads:
+        # the CLI must refuse with a message, not die in np.zeros.
+        exit_code = main(["--backend", "density_matrix", "--shots", "16"])
+        assert exit_code == 2
+        assert "density-matrix" in capsys.readouterr().err
 
     def test_main_table_output(self, capsys):
         exit_code = main(["--smoke", "--shots", "64"])
@@ -83,13 +289,14 @@ class TestCli:
         out = capsys.readouterr().out
         assert "workload" in out
         assert "layered_rotations" in out
+        assert "density_matrix" in out
 
     def test_main_writes_out_file(self, tmp_path, capsys):
         out_file = tmp_path / "bench.json"
         exit_code = main(["--json", "--smoke", "--shots", "64", "--out", str(out_file)])
         assert exit_code == 0
         capsys.readouterr()
-        report = json.loads(out_file.read_text())
+        report = _strict_loads(out_file.read_text())
         assert report["schema_version"] == SCHEMA_VERSION
 
     def test_module_entry_point(self):
@@ -107,7 +314,7 @@ class TestCli:
             env=env,
         )
         assert result.returncode == 0, result.stderr
-        report = json.loads(result.stdout)
+        report = _strict_loads(result.stdout)
         layered = [
             r for r in report["workloads"] if r["name"] == "layered_rotations"
         ]

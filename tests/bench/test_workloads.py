@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.bench import default_workloads, ghz, layered_rotations, random_dense
+from repro.bench import (
+    default_workloads,
+    ghz,
+    ghz_depolarizing,
+    layered_damped,
+    layered_rotations,
+    random_dense,
+)
 from repro.sim import run
 
 
@@ -49,16 +56,56 @@ class TestRandomDense:
             assert len(set(instruction.qubits)) == len(instruction.qubits)
 
 
+class TestNoisyBuilders:
+    def test_ghz_depolarizing_structure(self):
+        circuit = ghz_depolarizing(4, p=0.05)
+        ops = circuit.count_ops()
+        assert ops["h"] == 1
+        assert ops["cx"] == 3
+        assert ops["depolarizing"] == 1 + 2 * 3  # one per gate-qubit touch
+        assert circuit.has_channels()
+
+    def test_ghz_depolarizing_deterministic(self):
+        assert ghz_depolarizing(3) == ghz_depolarizing(3)
+
+    def test_layered_damped_structure(self):
+        circuit = layered_damped(3, layers=2, gamma=0.1)
+        ops = circuit.count_ops()
+        assert ops["amplitude_damping"] == 3 * 2  # every qubit, every layer
+        assert ops["rz"] == 2 * 3 * 2
+
+    def test_noisy_builders_run_on_density_backend(self):
+        state = run(ghz_depolarizing(3), backend="density_matrix")
+        assert state.num_qubits == 3
+        assert state.purity() < 1.0
+
+
 class TestDefaultWorkloads:
     def test_full_sizes(self):
         workloads = default_workloads()
-        sizes = sorted({w.num_qubits for w in workloads})
-        assert sizes == [8, 12, 16]
+        statevector_sizes = sorted(
+            {w.num_qubits for w in workloads if w.backend is None}
+        )
+        density_sizes = sorted(
+            {w.num_qubits for w in workloads if w.backend == "density_matrix"}
+        )
+        assert statevector_sizes == [8, 12, 16]
+        assert density_sizes == [6, 8]
         assert {w.name for w in workloads} == {
             "ghz",
             "layered_rotations",
             "random_dense",
+            "ghz_depolarizing",
+            "layered_damped",
         }
+
+    def test_noisy_workloads_are_labelled(self):
+        for workload in default_workloads(smoke=True):
+            if workload.backend == "density_matrix":
+                assert workload.noise is not None
+                assert workload.build().has_channels()
+            else:
+                assert workload.noise is None
 
     def test_smoke_is_smaller(self):
         smoke = default_workloads(smoke=True)

@@ -1,0 +1,151 @@
+"""Tests for the Channel IR leaf and channel-bearing instructions/circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Channel, Circuit, Instruction
+from repro.gates import get_gate
+from repro.utils.exceptions import CircuitError, NoiseModelError
+
+_I = np.eye(2)
+_X = np.array([[0.0, 1.0], [1.0, 0.0]])
+
+
+def _flip(p=0.25):
+    return Channel("flip", 1, [np.sqrt(1 - p) * _I, np.sqrt(p) * _X], params=(p,))
+
+
+class TestChannelConstruction:
+    def test_basic_properties(self):
+        channel = _flip(0.25)
+        assert channel.name == "flip"
+        assert channel.num_qubits == 1
+        assert channel.params == (0.25,)
+        assert len(channel.kraus) == 2
+
+    def test_kraus_matrices_read_only(self):
+        channel = _flip()
+        with pytest.raises(ValueError):
+            channel.kraus[0][0, 0] = 9.0
+
+    def test_trace_preserving_check(self):
+        assert _flip().is_trace_preserving()
+
+    def test_non_trace_preserving_rejected(self):
+        with pytest.raises(NoiseModelError):
+            Channel("bad", 1, [0.5 * _I])
+
+    def test_validate_false_skips_check(self):
+        channel = Channel("bad", 1, [0.5 * _I], validate=False)
+        assert not channel.is_trace_preserving()
+
+    def test_empty_kraus_rejected(self):
+        with pytest.raises(CircuitError):
+            Channel("empty", 1, [])
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(CircuitError):
+            Channel("bad", 2, [np.eye(2)])
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(CircuitError):
+            Channel("", 1, [_I])
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(CircuitError):
+            Channel("bad", 0, [np.eye(1)])
+
+    def test_unital_query(self):
+        assert _flip().is_unital()
+        damping = Channel(
+            "damp",
+            1,
+            [
+                np.array([[1.0, 0.0], [0.0, np.sqrt(0.5)]]),
+                np.array([[0.0, np.sqrt(0.5)], [0.0, 0.0]]),
+            ],
+        )
+        assert not damping.is_unital()
+
+    def test_equality_and_hash(self):
+        assert _flip(0.25) == _flip(0.25)
+        assert _flip(0.25) != _flip(0.5)
+        assert hash(_flip(0.25)) == hash(_flip(0.25))
+
+    def test_repr(self):
+        assert "flip" in repr(_flip())
+        assert "kraus=2" in repr(_flip())
+
+
+class TestChannelInstruction:
+    def test_instruction_accepts_channel(self):
+        instruction = Instruction(_flip(), (1,))
+        assert instruction.is_channel
+        assert instruction.operation.name == "flip"
+        assert instruction.qubits == (1,)
+
+    def test_gate_property_raises_for_channel(self):
+        instruction = Instruction(_flip(), (0,))
+        with pytest.raises(CircuitError, match="not a gate"):
+            instruction.gate
+
+    def test_gate_property_still_works_for_gates(self):
+        instruction = Instruction(get_gate("h"), (0,))
+        assert not instruction.is_channel
+        assert instruction.gate is instruction.operation
+
+    def test_channel_instruction_not_invertible(self):
+        with pytest.raises(CircuitError, match="not invertible"):
+            Instruction(_flip(), (0,)).inverse()
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(CircuitError):
+            Instruction(_flip(), (0, 1))
+
+    def test_remap(self):
+        moved = Instruction(_flip(), (0,)).remapped([2])
+        assert moved.qubits == (2,)
+        assert moved.is_channel
+
+
+class TestChannelInCircuit:
+    def test_channel_method_appends(self):
+        circuit = Circuit(2).h(0).channel(_flip(), (0,)).cx(0, 1)
+        assert len(circuit) == 3
+        assert circuit.has_channels()
+        assert circuit.count_ops() == {"h": 1, "flip": 1, "cx": 1}
+
+    def test_channel_method_rejects_gates(self):
+        with pytest.raises(CircuitError):
+            Circuit(1).channel(get_gate("h"), (0,))
+
+    def test_noiseless_circuit_has_no_channels(self):
+        assert not Circuit(2).h(0).cx(0, 1).has_channels()
+
+    def test_channel_out_of_range(self):
+        with pytest.raises(CircuitError):
+            Circuit(1).channel(_flip(), (3,))
+
+    def test_compose_carries_channels(self):
+        noisy = Circuit(1).channel(_flip(), (0,))
+        combined = Circuit(2).h(0).compose(noisy, qubits=[1])
+        assert combined.has_channels()
+        assert combined[-1].qubits == (1,)
+
+    def test_remapped_carries_channels(self):
+        circuit = Circuit(2).channel(_flip(), (0,)).remapped([1, 0])
+        assert circuit[0].qubits == (1,)
+        assert circuit[0].is_channel
+
+    def test_inverse_raises_with_channels(self):
+        with pytest.raises(CircuitError):
+            Circuit(1).channel(_flip(), (0,)).inverse()
+
+    def test_extend_carries_channels(self):
+        source = Circuit(1).channel(_flip(), (0,))
+        circuit = Circuit(1).extend(source.instructions)
+        assert circuit.has_channels()
+
+    def test_depth_counts_channels(self):
+        circuit = Circuit(1).h(0).channel(_flip(), (0,)).h(0)
+        assert circuit.depth() == 3

@@ -1,0 +1,150 @@
+"""Tests for NoiseModel rule matching and ReadoutError."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.noise import NoiseModel, ReadoutError, bit_flip, depolarizing
+from repro.sampling import sample_counts
+from repro.sim import get_backend, run
+from repro.utils.exceptions import NoiseModelError, SimulationError
+
+
+class TestNoiseModelRules:
+    def test_empty_model(self):
+        model = NoiseModel()
+        assert not model.has_gate_noise
+        assert model.readout_error is None
+
+    def test_add_channel_chains(self):
+        model = NoiseModel().add_channel(bit_flip(0.1)).add_channel(depolarizing(0.1))
+        assert model.has_gate_noise
+
+    def test_all_gates_one_qubit_channel_fans_out(self):
+        model = NoiseModel().add_channel(bit_flip(0.1))
+        circuit = Circuit(2).cx(0, 1)
+        fired = model.channels_for(circuit[0])
+        assert [qubits for _, qubits in fired] == [(0,), (1,)]
+
+    def test_gate_name_filter(self):
+        model = NoiseModel().add_channel(bit_flip(0.1), gates=["cx"])
+        circuit = Circuit(2).h(0).cx(0, 1)
+        assert model.channels_for(circuit[0]) == []
+        assert len(model.channels_for(circuit[1])) == 2
+
+    def test_qubit_filter(self):
+        model = NoiseModel().add_channel(bit_flip(0.1), qubits=[1])
+        circuit = Circuit(2).cx(0, 1)
+        fired = model.channels_for(circuit[0])
+        assert [qubits for _, qubits in fired] == [(1,)]
+
+    def test_two_qubit_channel_only_fires_on_two_qubit_gates(self):
+        model = NoiseModel().add_channel(depolarizing(0.1, num_qubits=2))
+        circuit = Circuit(2).h(0).cx(0, 1)
+        assert model.channels_for(circuit[0]) == []
+        fired = model.channels_for(circuit[1])
+        assert [qubits for _, qubits in fired] == [(0, 1)]
+
+    def test_channel_instructions_not_renoised(self):
+        model = NoiseModel().add_channel(bit_flip(0.1))
+        circuit = Circuit(1).channel(bit_flip(0.2), (0,))
+        assert model.channels_for(circuit[0]) == []
+
+    def test_rules_fire_in_insertion_order(self):
+        a, b = bit_flip(0.1), bit_flip(0.2)
+        model = NoiseModel().add_channel(a).add_channel(b)
+        circuit = Circuit(1).h(0)
+        fired = [channel for channel, _ in model.channels_for(circuit[0])]
+        assert fired == [a, b]
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(NoiseModelError):
+            NoiseModel().add_channel("not a channel")
+        with pytest.raises(NoiseModelError):
+            NoiseModel().add_channel(bit_flip(0.1), gates=[])
+        with pytest.raises(NoiseModelError):
+            NoiseModel().add_channel(bit_flip(0.1), qubits=[-1])
+        with pytest.raises(NoiseModelError):
+            NoiseModel().set_readout_error("nope")
+
+    def test_repr(self):
+        model = NoiseModel("depol").add_channel(bit_flip(0.1))
+        model.set_readout_error(ReadoutError(0.01, 0.02))
+        text = repr(model)
+        assert "1 rule(s)" in text and "readout" in text and "depol" in text
+
+
+class TestNoiseModelOnBackend:
+    def test_model_noise_mixes_state(self):
+        model = NoiseModel().add_channel(depolarizing(0.2))
+        circuit = Circuit(2).h(0).cx(0, 1)
+        state = get_backend("density_matrix").run(circuit, noise_model=model)
+        assert state.purity() < 0.999
+        assert state.trace() == pytest.approx(1.0)
+
+    def test_statevector_backend_rejects_gate_noise(self):
+        model = NoiseModel().add_channel(bit_flip(0.1))
+        with pytest.raises(SimulationError, match="density_matrix"):
+            run(Circuit(1).h(0), noise_model=model)
+
+    def test_statevector_backend_accepts_readout_only_model(self):
+        model = NoiseModel().set_readout_error(ReadoutError(0.1, 0.1))
+        state = run(Circuit(1).h(0), noise_model=model)
+        assert state.num_qubits == 1
+
+    def test_gate_filtered_noise_matches_explicit_channels(self):
+        channel = depolarizing(0.1)
+        model = NoiseModel().add_channel(channel, gates=["h"])
+        circuit = Circuit(1).h(0)
+        via_model = get_backend("density_matrix").run(circuit, noise_model=model)
+        explicit = Circuit(1).h(0).channel(channel, (0,))
+        via_circuit = get_backend("density_matrix").run(explicit)
+        assert np.allclose(via_model.data, via_circuit.data)
+
+
+class TestReadoutError:
+    def test_confusion_matrix_column_stochastic(self):
+        matrix = ReadoutError(0.1, 0.3).confusion_matrix
+        assert np.allclose(matrix.sum(axis=0), [1.0, 1.0])
+        assert matrix[1, 0] == pytest.approx(0.1)  # observed 1 | true 0
+        assert matrix[0, 1] == pytest.approx(0.3)  # observed 0 | true 1
+
+    def test_probabilities_out_of_range_rejected(self):
+        with pytest.raises(NoiseModelError):
+            ReadoutError(-0.1, 0.0)
+        with pytest.raises(NoiseModelError):
+            ReadoutError(0.0, 1.5)
+
+    def test_apply_preserves_total_probability(self):
+        error = ReadoutError(0.07, 0.13)
+        probs = np.array([0.5, 0.0, 0.25, 0.25])
+        corrupted = error.apply(probs, 2)
+        assert corrupted.sum() == pytest.approx(1.0)
+        assert (corrupted >= 0).all()
+
+    def test_apply_on_deterministic_outcome(self):
+        # True outcome |00>: each qubit independently misreads as 1 with
+        # probability 0.1.
+        error = ReadoutError(0.1, 0.0)
+        probs = np.zeros(4)
+        probs[0] = 1.0
+        corrupted = error.apply(probs, 2)
+        assert corrupted[0] == pytest.approx(0.81)
+        assert corrupted[3] == pytest.approx(0.01)
+
+    def test_apply_size_mismatch(self):
+        with pytest.raises(NoiseModelError):
+            ReadoutError(0.1, 0.1).apply(np.ones(3) / 3, 2)
+
+    def test_equality_and_repr(self):
+        assert ReadoutError(0.1, 0.2) == ReadoutError(0.1, 0.2)
+        assert ReadoutError(0.1, 0.2) != ReadoutError(0.2, 0.1)
+        assert "0.1" in repr(ReadoutError(0.1, 0.2))
+
+    def test_sampling_applies_readout_error(self):
+        # A |0> state read out with heavy 0 -> 1 misassignment must show
+        # ones in the record.
+        model = NoiseModel().set_readout_error(ReadoutError(0.5, 0.0))
+        circuit = Circuit(1).x(0).x(0)  # identity, stays |0>
+        counts = sample_counts(circuit, 2000, seed=11, noise_model=model)
+        assert counts["1"] > 800

@@ -91,5 +91,41 @@ def test_merged():
         Counts({"0": 1}).merged(Counts({"00": 1}))
 
 
+def test_merged_with_empty_operands():
+    """Empty (width-0) Counts merge as neutral elements on either side."""
+    empty = Counts()
+    assert empty.num_qubits == 0
+    populated = Counts({"01": 4}, num_qubits=2)
+
+    left = empty.merged(populated)
+    assert left == populated
+    assert left.num_qubits == 2  # width adopted from the populated side
+
+    right = populated.merged(empty)
+    assert right == populated
+    assert right.num_qubits == 2
+
+    both = empty.merged(Counts())
+    assert both == {}
+    assert both.num_qubits == 0
+    assert both.shots == 0
+
+
+def test_merged_width_zero_from_dropped_outcomes():
+    """A Counts whose every outcome was zero-count behaves as width-0."""
+    ghost = Counts({"11": 0})
+    assert ghost.num_qubits == 0
+    merged = ghost.merged(Counts({"101": 2}))
+    assert merged == {"101": 2}
+    assert merged.num_qubits == 3
+
+
+def test_merged_returns_counts_instance():
+    merged = Counts().merged(Counts({"1": 1}))
+    assert isinstance(merged, Counts)
+    with pytest.raises(TypeError):
+        merged["1"] = 5  # merged results stay frozen
+
+
 def test_repr_shows_shots():
     assert "shots=4" in repr(Counts({"0": 4}))

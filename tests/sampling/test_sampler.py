@@ -93,3 +93,79 @@ def test_sample_memory_order_and_determinism():
 def test_sample_memory_aggregates_to_counts_distribution():
     memory = sample_memory(Circuit(1).x(0), 20, seed=0)
     assert memory == ["1"] * 20
+
+
+class TestExplicitGeneratorWithRepetition:
+    """An explicit Generator seed is used as-is; repetition only validates."""
+
+    def test_counts_consume_generator_stream(self):
+        # Two identically seeded Generators must reproduce each other even
+        # with a nonzero repetition (which must NOT re-mix an explicit rng).
+        a = sample_counts(bell(), 400, seed=np.random.default_rng(21), repetition=3)
+        b = sample_counts(bell(), 400, seed=np.random.default_rng(21), repetition=3)
+        assert a == b
+
+    def test_repetition_does_not_remix_generator(self):
+        rep0 = sample_counts(bell(), 400, seed=np.random.default_rng(21), repetition=0)
+        rep5 = sample_counts(bell(), 400, seed=np.random.default_rng(21), repetition=5)
+        assert rep0 == rep5
+
+    def test_memory_consume_generator_stream(self):
+        a = sample_memory(bell(), 60, seed=np.random.default_rng(8), repetition=2)
+        b = sample_memory(bell(), 60, seed=np.random.default_rng(8), repetition=2)
+        assert a == b
+
+    def test_negative_repetition_still_rejected(self):
+        with pytest.raises(SimulationError):
+            sample_counts(bell(), 10, seed=np.random.default_rng(1), repetition=-1)
+
+    def test_shared_generator_advances_between_calls(self):
+        rng = np.random.default_rng(33)
+        first = sample_counts(bell(), 400, seed=rng, repetition=1)
+        second = sample_counts(bell(), 400, seed=rng, repetition=1)
+        assert first != second  # the stream moved on
+
+
+class TestBackendSelection:
+    def test_density_backend_counts_match_statevector(self):
+        sv = sample_counts(bell(), 300, seed=5, backend="statevector")
+        dm = sample_counts(bell(), 300, seed=5, backend="density_matrix")
+        assert sv == dm
+
+    def test_density_matrix_source(self):
+        state = run(bell(), backend="density_matrix")
+        assert sample_counts(state, 200, seed=3) == sample_counts(bell(), 200, seed=3)
+
+    def test_sample_memory_density_backend(self):
+        sv = sample_memory(bell(), 40, seed=5, backend="statevector")
+        dm = sample_memory(bell(), 40, seed=5, backend="density_matrix")
+        assert sv == dm
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError):
+            sample_counts(bell(), 10, backend="nope")
+
+
+class TestNoiseModelSampling:
+    def test_gate_noise_requires_circuit_source(self):
+        from repro.noise import NoiseModel, bit_flip
+
+        model = NoiseModel().add_channel(bit_flip(0.1))
+        with pytest.raises(SimulationError, match="Circuit"):
+            sample_counts(run(bell()), 10, noise_model=model)
+
+    def test_gate_noise_with_density_backend_changes_distribution(self):
+        from repro.noise import NoiseModel, bit_flip
+
+        model = NoiseModel().add_channel(bit_flip(0.25))
+        noisy = sample_counts(
+            bell(), 2000, seed=5, backend="density_matrix", noise_model=model
+        )
+        assert set(noisy) == {"00", "01", "10", "11"}
+
+    def test_readout_error_applies_to_state_sources(self):
+        from repro.noise import NoiseModel, ReadoutError
+
+        model = NoiseModel().set_readout_error(ReadoutError(0.5, 0.5))
+        counts = sample_counts(run(Circuit(1).x(0)), 2000, seed=5, noise_model=model)
+        assert counts["0"] == pytest.approx(1000, abs=150)

@@ -1,0 +1,247 @@
+"""Tests for DensityMatrix and DensityMatrixBackend."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import random_dense
+from repro.circuit import Circuit
+from repro.noise import amplitude_damping, depolarizing, phase_damping
+from repro.sampling import sample_counts
+from repro.sim import (
+    DensityMatrix,
+    DensityMatrixBackend,
+    Statevector,
+    StatevectorBackend,
+    run,
+)
+from repro.utils.exceptions import SimulationError
+
+
+class TestDensityMatrixType:
+    def test_zero_state(self):
+        rho = DensityMatrix.zero_state(2)
+        assert rho.num_qubits == 2
+        assert rho.probability("00") == 1.0
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_from_statevector_is_pure_projector(self):
+        state = Statevector(np.array([1.0, 1.0]) / np.sqrt(2))
+        rho = DensityMatrix.from_statevector(state)
+        assert np.allclose(rho.data, np.full((2, 2), 0.5))
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_from_bitstring(self):
+        rho = DensityMatrix.from_bitstring("10")
+        assert rho.probabilities_dict() == pytest.approx({"10": 1.0})
+
+    def test_from_bad_bitstring(self):
+        with pytest.raises(SimulationError):
+            DensityMatrix.from_bitstring("1x")
+
+    def test_validation_rejects_bad_trace(self):
+        with pytest.raises(SimulationError, match="trace"):
+            DensityMatrix(np.eye(2))
+
+    def test_validation_rejects_non_hermitian(self):
+        data = np.array([[0.5, 1.0], [0.0, 0.5]], dtype=complex)
+        with pytest.raises(SimulationError, match="Hermitian"):
+            DensityMatrix(data)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(SimulationError):
+            DensityMatrix(np.ones((2, 3)))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(SimulationError):
+            DensityMatrix(np.eye(3) / 3)
+
+    def test_data_is_copy(self):
+        rho = DensityMatrix.zero_state(1)
+        rho.data[0, 0] = 99.0
+        assert rho.probability("0") == 1.0
+
+    def test_tensor_shape(self):
+        assert DensityMatrix.zero_state(3).tensor().shape == (2,) * 6
+
+    def test_probabilities_clip_negative_drift(self):
+        data = np.array([[1.0 + 0j, 0.0], [0.0, -1e-14]])
+        rho = DensityMatrix(data, validate=False)
+        assert (rho.probabilities() >= 0).all()
+
+    def test_probability_validates_width(self):
+        with pytest.raises(SimulationError):
+            DensityMatrix.zero_state(2).probability("0")
+
+    def test_maximally_mixed_purity(self):
+        rho = DensityMatrix(np.eye(4) / 4)
+        assert rho.purity() == pytest.approx(0.25)
+        assert rho.trace() == pytest.approx(1.0)
+
+    def test_expectation_z(self):
+        assert DensityMatrix.zero_state(1).expectation_z(0) == pytest.approx(1.0)
+        assert DensityMatrix.from_bitstring("1").expectation_z(0) == pytest.approx(-1.0)
+        with pytest.raises(SimulationError):
+            DensityMatrix.zero_state(1).expectation_z(5)
+
+    def test_expectation_operator(self):
+        z = np.diag([1.0, -1.0])
+        rho = DensityMatrix(np.eye(2) / 2)
+        assert DensityMatrix.zero_state(1).expectation(z, [0]) == pytest.approx(1.0)
+        assert rho.expectation(z, [0]) == pytest.approx(0.0)
+
+    def test_expectation_validates(self):
+        rho = DensityMatrix.zero_state(2)
+        with pytest.raises(SimulationError):
+            rho.expectation(np.eye(2), [5])
+        with pytest.raises(SimulationError):
+            rho.expectation(np.eye(2), [0, 0])
+        with pytest.raises(SimulationError):
+            rho.expectation(np.eye(4), [0])
+
+    def test_fidelity_with_statevector(self):
+        plus = Statevector(np.array([1.0, 1.0]) / np.sqrt(2))
+        rho = DensityMatrix.from_statevector(plus)
+        assert rho.fidelity(plus) == pytest.approx(1.0)
+        minus = Statevector(np.array([1.0, -1.0]) / np.sqrt(2))
+        assert rho.fidelity(minus) == pytest.approx(0.0, abs=1e-12)
+
+    def test_fidelity_with_density_matrix(self):
+        pure = DensityMatrix.zero_state(1)
+        mixed = DensityMatrix(np.eye(2) / 2)
+        assert pure.fidelity(pure) == pytest.approx(1.0)
+        assert pure.fidelity(mixed) == pytest.approx(0.5)
+
+    def test_fidelity_width_mismatch(self):
+        with pytest.raises(SimulationError):
+            DensityMatrix.zero_state(1).fidelity(DensityMatrix.zero_state(2))
+        with pytest.raises(SimulationError):
+            DensityMatrix.zero_state(1).fidelity(Statevector.zero_state(2))
+        with pytest.raises(SimulationError):
+            DensityMatrix.zero_state(1).fidelity("nope")
+
+    def test_equality(self):
+        assert DensityMatrix.zero_state(1) == DensityMatrix.zero_state(1)
+        assert DensityMatrix.zero_state(1) != DensityMatrix(np.eye(2) / 2)
+        assert DensityMatrix.zero_state(1).__eq__("x") is NotImplemented
+
+    def test_repr(self):
+        assert "DensityMatrix(2 qubits" in repr(DensityMatrix.zero_state(2))
+
+
+class TestBackendBasics:
+    def test_bell_state(self):
+        rho = run(Circuit(2).h(0).cx(0, 1), backend="density_matrix")
+        assert rho.probabilities_dict() == pytest.approx({"00": 0.5, "11": 0.5})
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_rejects_non_circuit(self):
+        with pytest.raises(SimulationError):
+            DensityMatrixBackend().run("not a circuit")
+
+    def test_bad_dtype(self):
+        with pytest.raises(SimulationError):
+            DensityMatrixBackend(dtype=np.float64)
+
+    def test_complex64_mode(self):
+        backend = DensityMatrixBackend(dtype=np.complex64)
+        assert backend.dtype == np.dtype(np.complex64)
+        rho = backend.run(Circuit(2).h(0).cx(0, 1))
+        assert rho.data.dtype == np.complex64
+        assert rho.probabilities_dict() == pytest.approx(
+            {"00": 0.5, "11": 0.5}, abs=1e-6
+        )
+
+    def test_initial_bitstring(self):
+        rho = DensityMatrixBackend().run(Circuit(2).x(0), initial_state="01")
+        assert rho.probability("11") == pytest.approx(1.0)
+
+    def test_initial_statevector(self):
+        plus = Statevector(np.array([1.0, 1.0]) / np.sqrt(2))
+        rho = DensityMatrixBackend().run(Circuit(1).h(0), initial_state=plus)
+        assert rho.probability("0") == pytest.approx(1.0)
+
+    def test_initial_density_matrix(self):
+        mixed = DensityMatrix(np.eye(2) / 2)
+        rho = DensityMatrixBackend().run(Circuit(1).h(0), initial_state=mixed)
+        # The maximally mixed state is invariant under unitaries.
+        assert np.allclose(rho.data, np.eye(2) / 2)
+
+    def test_initial_state_width_mismatch(self):
+        backend = DensityMatrixBackend()
+        with pytest.raises(SimulationError):
+            backend.run(Circuit(2).h(0), initial_state="0")
+        with pytest.raises(SimulationError):
+            backend.run(Circuit(2).h(0), initial_state=Statevector.zero_state(1))
+        with pytest.raises(SimulationError):
+            backend.run(Circuit(2).h(0), initial_state=DensityMatrix.zero_state(1))
+        with pytest.raises(SimulationError):
+            backend.run(Circuit(2).h(0), initial_state=123)
+
+    def test_optimize_matches_unoptimized(self):
+        circuit = random_dense(4, 40, seed=9)
+        backend = DensityMatrixBackend()
+        assert np.allclose(
+            backend.run(circuit).data, backend.run(circuit, optimize=True).data
+        )
+
+
+class TestStatevectorEquivalence:
+    """Acceptance criterion: noiseless density == statevector simulation."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_random_5q_fidelity_and_counts(self, seed):
+        circuit = random_dense(5, 60, seed=seed)
+        psi = StatevectorBackend().run(circuit)
+        rho = DensityMatrixBackend().run(circuit)
+        assert rho.fidelity(psi) >= 1.0 - 1e-9
+        sv_counts = sample_counts(circuit, 512, seed=seed, backend="statevector")
+        dm_counts = sample_counts(circuit, 512, seed=seed, backend="density_matrix")
+        assert sv_counts == dm_counts
+
+    def test_ghz_probabilities_identical(self):
+        circuit = Circuit(5, name="ghz")
+        circuit.h(0)
+        for q in range(4):
+            circuit.cx(q, q + 1)
+        psi = StatevectorBackend().run(circuit)
+        rho = DensityMatrixBackend().run(circuit)
+        assert np.allclose(rho.probabilities(), psi.probabilities(), atol=1e-12)
+
+
+class TestNoisyEvolution:
+    def test_channel_instruction_mixes(self):
+        circuit = Circuit(1).h(0).channel(phase_damping(0.5), (0,))
+        rho = run(circuit, backend="density_matrix")
+        assert rho.purity() < 1.0
+        assert rho.trace() == pytest.approx(1.0)
+
+    def test_trace_preserved_through_deep_noisy_circuit(self):
+        circuit = Circuit(3)
+        channel = depolarizing(0.05)
+        for layer in range(10):
+            for q in range(3):
+                circuit.rx(0.3 * (layer + 1), q)
+                circuit.channel(channel, (q,))
+            circuit.cx(0, 1).cx(1, 2)
+        rho = run(circuit, backend="density_matrix")
+        assert rho.trace() == pytest.approx(1.0)
+
+    def test_amplitude_damping_full_strength_resets(self):
+        circuit = Circuit(1).x(0).channel(amplitude_damping(1.0), (0,))
+        rho = run(circuit, backend="density_matrix")
+        assert rho.probability("0") == pytest.approx(1.0)
+
+    def test_transpiled_noisy_circuit_matches(self):
+        circuit = Circuit(2)
+        circuit.rz(0.3, 0).ry(0.2, 0).channel(depolarizing(0.1), (0,))
+        circuit.cx(0, 1).channel(amplitude_damping(0.2), (1,))
+        circuit.rz(0.7, 1).rz(-0.7, 1)  # cancels
+        backend = DensityMatrixBackend()
+        plain = backend.run(circuit)
+        fused = backend.run(circuit, optimize=True)
+        assert np.allclose(plain.data, fused.data, atol=1e-12)
+
+    def test_statevector_backend_rejects_channels(self):
+        circuit = Circuit(1).channel(depolarizing(0.1), (0,))
+        with pytest.raises(SimulationError, match="density_matrix"):
+            run(circuit)

@@ -38,6 +38,22 @@ class TestAll:
             "CancelInversePairs",
             "unitary_gate",
             "run_suite",
+            # noise + multi-backend surface
+            "Channel",
+            "NoiseModel",
+            "ReadoutError",
+            "depolarizing",
+            "bit_flip",
+            "phase_flip",
+            "bit_phase_flip",
+            "amplitude_damping",
+            "phase_damping",
+            "Backend",
+            "DensityMatrix",
+            "DensityMatrixBackend",
+            "get_backend",
+            "register_backend",
+            "available_backends",
         ],
     )
     def test_new_entry_points_exported(self, name):
@@ -56,7 +72,7 @@ class TestAll:
         # ``repro.run`` shadows nothing but is a function too).
         import importlib
 
-        for module_name in ("repro.transpile", "repro.bench"):
+        for module_name in ("repro.transpile", "repro.bench", "repro.noise", "repro.sim"):
             module = importlib.import_module(module_name)
             for name in module.__all__:
                 assert hasattr(module, name), f"{module_name}.{name} missing"
