@@ -2,21 +2,25 @@
 
 Layering (each layer depends only on the ones above it)::
 
-    repro.utils      exceptions, RNG plumbing, bitstring conventions
-    repro.circuit    operation-instruction IR (Gate, Channel, Instruction, Circuit)
-    repro.gates      registry-backed standard gate library + unitary gates
-    repro.noise      Kraus channel library, readout error, NoiseModel
-    repro.transpile  pass-manager optimisation (fusion, cancellation)
-    repro.sim        backend registry: statevector + density-matrix engines
-    repro.sampling   shot sampling -> Counts (any backend, readout noise)
-    repro.bench      benchmark workloads + JSON-reporting harness
+    repro.utils        exceptions, RNG plumbing, bitstring conventions
+    repro.circuit      operation-instruction IR (Gate, Channel, Parameter,
+                       Instruction, Circuit, Circuit.bind)
+    repro.gates        registry-backed standard gate library + unitary gates
+    repro.noise        Kraus channel library, readout error, NoiseModel
+    repro.transpile    pass-manager optimisation (fusion, cancellation)
+    repro.sim          backend registry: statevector + density-matrix engines
+    repro.sampling     shot sampling -> Counts (any backend, readout noise)
+    repro.observables  Pauli / PauliSum observables, expectation values
+    repro.execution    execute() front door: RunOptions, Job, Result/BatchResult
+    repro.bench        benchmark workloads + JSON-reporting harness
 
 The public API re-exported here is the supported surface; module internals
 may move between PRs.
 """
 
 from repro.bench import run_suite
-from repro.circuit import Channel, Circuit, Gate, Instruction
+from repro.circuit import Channel, Circuit, Gate, Instruction, Parameter
+from repro.execution import BatchResult, Job, Result, RunOptions, execute, submit
 from repro.gates import (
     available_gates,
     gate_arity,
@@ -34,9 +38,11 @@ from repro.noise import (
     phase_damping,
     phase_flip,
 )
+from repro.observables import Pauli, PauliSum, expectation
 from repro.sampling import Counts, sample_counts, sample_memory
 from repro.sim import (
     Backend,
+    BaseBackend,
     DensityMatrix,
     DensityMatrixBackend,
     Statevector,
@@ -62,8 +68,8 @@ from repro.transpile import (
     transpile,
 )
 from repro.utils import (
-    CharterError,
     CircuitError,
+    ExecutionError,
     NoiseModelError,
     ReproError,
     SimulationError,
@@ -80,7 +86,7 @@ from repro.utils import (
     spawn_seeds,
 )
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "__version__",
@@ -89,6 +95,7 @@ __all__ = [
     "Circuit",
     "Gate",
     "Instruction",
+    "Parameter",
     # gate library
     "available_gates",
     "gate_arity",
@@ -113,6 +120,7 @@ __all__ = [
     "transpile",
     # simulation
     "Backend",
+    "BaseBackend",
     "DensityMatrix",
     "DensityMatrixBackend",
     "Statevector",
@@ -125,6 +133,17 @@ __all__ = [
     "Counts",
     "sample_counts",
     "sample_memory",
+    # observables
+    "Pauli",
+    "PauliSum",
+    "expectation",
+    # execution
+    "BatchResult",
+    "Job",
+    "Result",
+    "RunOptions",
+    "execute",
+    "submit",
     # benchmarks
     "run_suite",
     # utils: exceptions
@@ -133,7 +152,7 @@ __all__ = [
     "TranspilerError",
     "SimulationError",
     "NoiseModelError",
-    "CharterError",
+    "ExecutionError",
     # utils: bitstrings
     "all_bitstrings",
     "bitstring_to_index",

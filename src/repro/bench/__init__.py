@@ -2,10 +2,12 @@
 
 ``run_suite`` executes each workload unfused and transpiled on its
 backend (statevector or density-matrix, noisy families included), records
-wall-times, gate counts and a seeded counts-equivalence check, and
-returns a JSON-stable report (``schema_version`` 2).  ``python -m
-repro.bench --json`` is the CLI entry point; ``--smoke`` selects the
-small configuration CI runs on every push.
+wall-times, gate counts and seeded counts/expectation-equivalence checks
+through the unified ``repro.execute`` front door, and returns a
+JSON-stable report (``schema_version`` 3).  ``python -m repro.bench
+--json`` is the CLI entry point; ``--smoke`` selects the small
+configuration CI runs on every push, ``--sweep`` adds the batched
+parameter-sweep benchmark.
 """
 
 from repro.bench.harness import SCHEMA_VERSION, run_suite
@@ -16,7 +18,9 @@ from repro.bench.workloads import (
     ghz_depolarizing,
     layered_damped,
     layered_rotations,
+    parameterized_rotations,
     random_dense,
+    sweep_bindings,
 )
 
 __all__ = [
@@ -27,6 +31,8 @@ __all__ = [
     "ghz_depolarizing",
     "layered_damped",
     "layered_rotations",
+    "parameterized_rotations",
     "random_dense",
     "run_suite",
+    "sweep_bindings",
 ]

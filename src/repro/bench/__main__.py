@@ -1,9 +1,11 @@
 """CLI for the benchmark suite: ``python -m repro.bench [--json] [--smoke]``.
 
-Prints a human-readable table by default, the schema-2 JSON report with
-``--json``.  Exits non-zero if any workload's fused execution fails the
-seeded counts-equivalence check — CI treats that as a correctness
-regression, not a slow run.
+Prints a human-readable table by default, the schema-3 JSON report with
+``--json``; ``--sweep`` adds the batched parameter-sweep benchmark run
+through ``repro.execute``.  Exits non-zero if any workload's fused
+execution fails the seeded counts/expectation-equivalence checks, or if
+the sweep is not reproducible or transpiles more than once — CI treats
+those as correctness regressions, not slow runs.
 """
 
 from __future__ import annotations
@@ -43,12 +45,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="Benchmark the simulation backends with and without gate fusion.",
     )
     parser.add_argument(
-        "--json", action="store_true", help="emit the schema-2 JSON report on stdout"
+        "--json", action="store_true", help="emit the schema-3 JSON report on stdout"
     )
     parser.add_argument(
         "--smoke",
         action="store_true",
         help="small/fast CI configuration (fewer qubits, single repeat)",
+    )
+    parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="also benchmark a batched parameter sweep through repro.execute",
     )
     parser.add_argument("--shots", type=int, default=1024, help="shots for the counts check")
     parser.add_argument("--seed", type=int, default=1234, help="sampling seed")
@@ -78,6 +85,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             repeats=args.repeats,
             max_fused_width=args.max_fused_width,
             backend=args.backend,
+            sweep=args.sweep,
         )
     except SimulationError as exc:
         # E.g. --backend density_matrix at full statevector sizes: the
@@ -93,14 +101,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(payload)
     else:
         print(_format_table(report))
+        sweep = report["sweep"]
+        if sweep is not None:
+            print(
+                f"sweep: {sweep['name']} x {sweep['points']} points in "
+                f"{sweep['run_time_s']:.2g}s ({sweep['transpile_calls']} "
+                f"transpile call), reproducible: "
+                f"{'ok' if sweep['reproducible'] else 'FAIL'}"
+            )
 
+    failed = False
     mismatched = [w["name"] for w in report["workloads"] if not w["counts_match"]]
     if mismatched:
         print(
             f"counts mismatch after fusion: {', '.join(mismatched)}", file=sys.stderr
         )
-        return 1
-    return 0
+        failed = True
+    drifted = [
+        w["name"] for w in report["workloads"] if not w["expectations_match"]
+    ]
+    if drifted:
+        print(
+            f"expectation drift after fusion: {', '.join(drifted)}",
+            file=sys.stderr,
+        )
+        failed = True
+    sweep = report["sweep"]
+    if sweep is not None:
+        if not sweep["reproducible"]:
+            print("sweep results are not reproducible", file=sys.stderr)
+            failed = True
+        if sweep["transpile_calls"] != 1:
+            print(
+                f"sweep transpiled {sweep['transpile_calls']} times, "
+                "expected exactly 1",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -1,14 +1,15 @@
 """The bench driver: time each workload unfused vs. transpiled.
 
-Report schema (``schema_version`` 2) — stable from this PR onward so CI
+Report schema (``schema_version`` 3) — stable from this PR onward so CI
 artifacts stay comparable across commits::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "config": {"smoke": bool, "shots": int, "seed": int,
                  "repeats": int, "max_fused_width": int,
                  "backend": str,
-                 "noise_model": str | null},  # suite-wide model label
+                 "noise_model": str | null,   # suite-wide model label
+                 "sweep": bool},              # was --sweep requested
       "workloads": [
         {
           "name": str, "num_qubits": int,
@@ -22,19 +23,32 @@ artifacts stay comparable across commits::
           "speedup": float | null,     # unfused / fused wall-time; null
                                        # when the fused time measured 0
                                        # (Infinity is not valid JSON)
-          "counts_match": bool         # seeded sampling equivalence
+          "counts_match": bool,        # seeded sampling equivalence
+          "expectation_z0": float,     # <Z_0> on the unfused final state
+          "expectations_match": bool   # fused <Z_0> agrees to 1e-9
         }, ...
-      ]
+      ],
+      "sweep": null | {                # present (non-null) with --sweep
+        "name": str, "num_qubits": int, "points": int,
+        "parameters": int,             # symbols bound per point
+        "transpile_calls": int,        # MUST be 1: one transpile, N binds
+        "run_time_s": float,
+        "expectations": [float, ...],  # <Z_0> per sweep point
+        "reproducible": bool           # re-run is bitwise identical
+      }
     }
 
 Schema history: version 1 lacked the ``backend``/``noise`` fields and
-emitted ``float("inf")`` speedups, which ``json.dumps`` serialises as the
-non-standard ``Infinity`` token.
+emitted ``float("inf")`` speedups; version 2 predates the execution
+layer — no expectation columns and no ``sweep`` section.
 
-Wall-times are best-of-``repeats`` ``perf_counter`` measurements of the
-simulation alone (circuit construction and transpilation are timed
-separately), so the headline number isolates the amplitude-array sweeps
-that fusion is meant to reduce.
+Counts and expectation values are produced through the unified
+:func:`repro.execute` front door, so the harness exercises exactly the
+surface users are told to call.  Wall-times are best-of-``repeats``
+``perf_counter`` measurements of the simulation alone (circuit
+construction and transpilation are timed separately), so the headline
+number isolates the amplitude-array sweeps that fusion is meant to
+reduce.
 """
 
 from __future__ import annotations
@@ -42,20 +56,43 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.bench.workloads import Workload, default_workloads
+from repro.bench.workloads import (
+    Workload,
+    default_workloads,
+    parameterized_rotations,
+    sweep_bindings,
+)
 from repro.circuit import Circuit
-from repro.sampling import sample_counts
+from repro.execution import RunOptions, execute
+from repro.observables import Pauli
 from repro.sim import get_backend
-from repro.transpile import transpile
+from repro.transpile import Pass, transpile
 from repro.utils.exceptions import SimulationError
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 # Mixed-state cost is O(4**n) memory *per contraction temporary*: n = 12
 # is already ~270 MB a copy (minutes of bench wall-time), n = 16 would be
 # 64 GiB before the first gate.  Refuse early with a clear message
 # instead of dying in np.zeros or grinding for hours.
 DENSITY_WIDTH_CAP = 10
+
+_EXPECTATION_ATOL = 1e-9
+
+
+class _CountingPass(Pass):
+    """Identity pass that records how many times the pipeline ran.
+
+    Appended to the sweep pipeline so the report can *prove* the
+    one-transpile-N-binds contract instead of asserting it in prose.
+    """
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def run(self, circuit: Circuit) -> Circuit:
+        self.calls += 1
+        return circuit
 
 
 def _best_time(fn: Callable[[], object], repeats: int) -> float:
@@ -82,18 +119,28 @@ def _bench_workload(
     fused = transpile(circuit, max_fused_width=max_fused_width)
     transpile_time = time.perf_counter() - start
 
+    run_options = RunOptions(noise_model=noise_model)
     run_unfused = _best_time(
-        lambda: backend.run(circuit, noise_model=noise_model), repeats
+        lambda: backend.run(circuit, options=run_options), repeats
     )
     run_fused = _best_time(
-        lambda: backend.run(fused, noise_model=noise_model), repeats
+        lambda: backend.run(fused, options=run_options), repeats
     )
 
-    counts_match = sample_counts(
-        circuit, shots, seed=seed, backend=backend, noise_model=noise_model
-    ) == sample_counts(
-        fused, shots, seed=seed, backend=backend, noise_model=noise_model
+    # Counts and expectations come through the unified front door; the
+    # same seed both ways makes the fused/unfused comparison exact.
+    observable = Pauli("Z", qubits=(0,))
+    options = RunOptions(
+        backend=backend,
+        shots=shots,
+        seed=seed,
+        noise_model=noise_model,
+        observables=(observable,),
     )
+    result_unfused = execute(circuit, options)
+    result_fused = execute(fused, options)
+    expectation_unfused = result_unfused.expectation_values[0]
+    expectation_fused = result_fused.expectation_values[0]
 
     return {
         "name": workload.name,
@@ -110,7 +157,66 @@ def _bench_workload(
         # null, not float("inf"): json.dumps would emit the non-standard
         # ``Infinity`` token and break strict parsers of the CI artifact.
         "speedup": run_unfused / run_fused if run_fused > 0 else None,
-        "counts_match": bool(counts_match),
+        "counts_match": result_unfused.counts == result_fused.counts,
+        "expectation_z0": expectation_unfused,
+        "expectations_match": abs(expectation_unfused - expectation_fused)
+        <= _EXPECTATION_ATOL,
+    }
+
+
+def _bench_sweep(
+    smoke: bool, shots: int, seed: int, max_fused_width: int
+) -> Dict[str, object]:
+    """Benchmark a batched parameter sweep through ``execute()``.
+
+    Runs the parametric rotation template over seeded sweep points with
+    an instrumented pass pipeline, so ``transpile_calls`` in the report
+    is measured, not assumed; ``reproducible`` re-runs the identical
+    sweep and compares counts and expectations bitwise.
+    """
+    from repro.transpile.base import default_passes
+
+    num_qubits = 4 if smoke else 8
+    points = 4 if smoke else 16
+    template, parameters = parameterized_rotations(num_qubits, layers=2)
+    bindings = sweep_bindings(parameters, points, seed=seed)
+    counting = _CountingPass()
+    passes = list(default_passes(max_fused_width)) + [counting]
+    observable = Pauli("Z", qubits=(0,))
+
+    def run_sweep():
+        return execute(
+            template,
+            shots=shots,
+            seed=seed,
+            passes=passes,
+            observables=(observable,),
+            parameter_sweep=bindings,
+        )
+
+    start = time.perf_counter()
+    batch = run_sweep()
+    run_time = time.perf_counter() - start
+    # Snapshot before the reproducibility re-run: the contract is
+    # one-transpile-per-batch, so the first sweep alone must read 1.
+    # (No floor division over both runs — that would round 3 calls
+    # down to 1 and hide a regression.)
+    transpile_calls = counting.calls
+    repeat = run_sweep()
+    reproducible = (
+        batch.counts == repeat.counts
+        and batch.expectation_values == repeat.expectation_values
+    )
+
+    return {
+        "name": template.name,
+        "num_qubits": num_qubits,
+        "points": points,
+        "parameters": len(parameters),
+        "transpile_calls": transpile_calls,
+        "run_time_s": run_time,
+        "expectations": [values[0] for values in batch.expectation_values],
+        "reproducible": bool(reproducible),
     }
 
 
@@ -123,8 +229,9 @@ def run_suite(
     max_fused_width: int = 2,
     backend: Optional[str] = None,
     noise_model=None,
+    sweep: bool = False,
 ) -> Dict[str, object]:
-    """Run the benchmark suite and return the schema-2 report dict.
+    """Run the benchmark suite and return the schema-3 report dict.
 
     Parameters
     ----------
@@ -158,6 +265,10 @@ def run_suite(
         Note that attaching per-gate noise makes the fused run a
         *different* open system, so expect ``counts_match`` to fail —
         useful for measuring that effect, not for CI gating.
+    sweep:
+        Also benchmark a batched parameter sweep through
+        :func:`repro.execute` (see :func:`_bench_sweep`); the report's
+        top-level ``"sweep"`` entry is ``null`` otherwise.
     """
     if repeats is None:
         repeats = 1 if smoke else 3
@@ -226,6 +337,10 @@ def run_suite(
             "max_fused_width": int(max_fused_width),
             "backend": default_backend.name,
             "noise_model": model_label,
+            "sweep": bool(sweep),
         },
         "workloads": results,
+        "sweep": (
+            _bench_sweep(smoke, shots, seed, max_fused_width) if sweep else None
+        ),
     }

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
-from repro.circuit import Circuit
+from repro.circuit import Circuit, Parameter
 from repro.utils.rng import ensure_rng
 
 
@@ -159,6 +159,47 @@ def layered_damped(
         for q in range(num_qubits):
             circuit.channel(channel, (q,))
     return circuit
+
+
+def parameterized_rotations(
+    num_qubits: int, layers: int = 2
+) -> Tuple[Circuit, List[Parameter]]:
+    """A parametric rotation template for batched sweeps.
+
+    Per layer: an ``ry(theta_l_q)`` on every qubit (each angle its own
+    :class:`~repro.circuit.Parameter`) followed by CX brickwork.  Returns
+    the unbound circuit together with its parameters in binding order —
+    the bench ``--sweep`` mode and the execute() tests stamp this
+    template out over many bindings through a single transpile.
+    """
+    parameters: List[Parameter] = []
+    circuit = Circuit(num_qubits, name=f"parameterized_rotations_{num_qubits}")
+    for layer in range(layers):
+        for q in range(num_qubits):
+            theta = Parameter(f"theta_{layer}_{q}")
+            parameters.append(theta)
+            circuit.ry(theta, q)
+        offset = layer % 2
+        for q in range(offset, num_qubits - 1, 2):
+            circuit.cx(q, q + 1)
+    return circuit, parameters
+
+
+def sweep_bindings(
+    parameters: List[Parameter], points: int, seed: int = 17
+) -> List[dict]:
+    """``points`` seeded random bindings over ``parameters``."""
+    rng = ensure_rng(seed)
+    return [
+        {
+            p: float(angle)
+            for p, angle in zip(
+                parameters,
+                rng.uniform(0.0, 6.283185307179586, size=len(parameters)),
+            )
+        }
+        for _ in range(points)
+    ]
 
 
 def default_workloads(smoke: bool = False) -> List[Workload]:

@@ -12,6 +12,7 @@ and nothing else.
 from repro.circuit.channel import Channel
 from repro.circuit.gate import Gate
 from repro.circuit.instruction import Instruction, Operation
+from repro.circuit.parameter import Parameter
 from repro.circuit.circuit import Circuit
 
-__all__ = ["Channel", "Gate", "Instruction", "Operation", "Circuit"]
+__all__ = ["Channel", "Circuit", "Gate", "Instruction", "Operation", "Parameter"]

@@ -13,11 +13,15 @@ compile-time dependency on the gate library.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.circuit.channel import Channel
 from repro.circuit.instruction import Instruction, Operation
+from repro.circuit.parameter import Parameter
 from repro.utils.exceptions import CircuitError
+
+# bind() accepts Parameter objects or bare names as keys.
+ParameterBinding = Mapping[Union[Parameter, str], float]
 
 
 class Circuit:
@@ -175,6 +179,64 @@ class Circuit:
     def has_channels(self) -> bool:
         """Whether any instruction is a :class:`Channel` application."""
         return any(instruction.is_channel for instruction in self._instructions)
+
+    def parameters(self) -> Tuple[Parameter, ...]:
+        """Distinct unbound :class:`Parameter` symbols, in first-use order."""
+        seen: Dict[Parameter, None] = {}
+        for instruction in self._instructions:
+            if instruction.is_parametric:
+                for parameter in instruction.operation.parameters:
+                    seen.setdefault(parameter, None)
+        return tuple(seen)
+
+    def is_parametric(self) -> bool:
+        """Whether any gate still carries unbound parameters."""
+        return any(
+            instruction.is_parametric for instruction in self._instructions
+        )
+
+    def bind(self, binding: ParameterBinding) -> "Circuit":
+        """Substitute parameter values and return the bound circuit.
+
+        ``binding`` maps :class:`Parameter` objects (or their names) to
+        real values.  Every key must correspond to a parameter actually
+        present in the circuit — a stray key is a hard error, since it
+        almost always means a typo in a sweep specification.  Binding may
+        be partial: parameters left out stay symbolic, so templates can be
+        specialised in stages.
+
+        Bound gates are re-resolved through the gate registry, so each
+        ``(name, values)`` combination shares the registry's cached
+        matrix; non-parametric instructions are carried over untouched.
+        """
+        from repro.gates import get_gate
+
+        values: Dict[str, float] = {}
+        for key, value in binding.items():
+            name = key.name if isinstance(key, Parameter) else str(key)
+            if name in values and values[name] != float(value):
+                raise CircuitError(
+                    f"conflicting values for parameter {name!r} in binding"
+                )
+            values[name] = float(value)
+        known = {parameter.name for parameter in self.parameters()}
+        stray = sorted(set(values) - known)
+        if stray:
+            raise CircuitError(
+                f"binding refers to unknown parameter(s) {stray}; "
+                f"circuit parameters: {sorted(known)}"
+            )
+        out = Circuit(self._num_qubits, self._name)
+        for instruction in self._instructions:
+            operation = instruction.operation
+            if instruction.is_parametric:
+                bound = tuple(
+                    values.get(p.name, p) if isinstance(p, Parameter) else p
+                    for p in operation.params
+                )
+                operation = get_gate(operation.name, *bound)
+            out.append(operation, instruction.qubits)
+        return out
 
     def active_qubits(self) -> Tuple[int, ...]:
         """Sorted qubits touched by at least one instruction."""

@@ -1,18 +1,27 @@
 """The :class:`Gate` leaf of the circuit IR.
 
-A gate is an immutable value object: a name, a qubit arity, a tuple of real
-parameters (already bound — the IR carries no symbolic parameters), and the
-``2**k x 2**k`` unitary matrix it represents.  Matrices are stored read-only so
-gates can be shared freely between circuits and cached by the gate library.
+A gate is an immutable value object: a name, a qubit arity, a tuple of
+parameters, and the ``2**k x 2**k`` unitary matrix it represents.  Matrices
+are stored read-only so gates can be shared freely between circuits and
+cached by the gate library.
+
+Parameters are usually bound reals (rotation angles), but any of them may
+be a symbolic :class:`~repro.circuit.Parameter`.  Such a *parametric* gate
+carries no matrix — accessing :attr:`Gate.matrix` raises until the
+parameters are bound (see :meth:`Circuit.bind`), so a half-built template
+can never be silently simulated.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.circuit.parameter import Parameter
 from repro.utils.exceptions import CircuitError
+
+ParamValue = Union[float, Parameter]
 
 _ATOL = 1e-10
 
@@ -44,7 +53,9 @@ class Gate:
         follow the library bitstring convention: the *first* qubit the gate is
         applied to is the most significant bit.
     params:
-        Bound real parameters (rotation angles etc.); part of gate identity.
+        Parameters (rotation angles etc.); part of gate identity.  Reals
+        are bound; :class:`~repro.circuit.Parameter` entries leave the
+        gate parametric, in which case ``matrix`` must be ``None``.
     """
 
     __slots__ = ("_name", "_num_qubits", "_matrix", "_params")
@@ -53,8 +64,8 @@ class Gate:
         self,
         name: str,
         num_qubits: int,
-        matrix: np.ndarray,
-        params: Sequence[float] = (),
+        matrix: "np.ndarray | None",
+        params: Sequence[ParamValue] = (),
     ) -> None:
         if not name or not isinstance(name, str):
             raise CircuitError(f"gate name must be a non-empty string, got {name!r}")
@@ -62,8 +73,25 @@ class Gate:
             raise CircuitError(f"gate must act on >= 1 qubit, got {num_qubits}")
         self._name = name
         self._num_qubits = int(num_qubits)
-        self._matrix = _as_readonly_matrix(matrix, num_qubits)
-        self._params = tuple(float(p) for p in params)
+        self._params = tuple(
+            p if isinstance(p, Parameter) else float(p) for p in params
+        )
+        parametric = any(isinstance(p, Parameter) for p in self._params)
+        if matrix is None:
+            if not parametric:
+                raise CircuitError(
+                    f"gate {name!r} has no matrix and no unbound parameters; "
+                    "only parametric gates may defer their matrix"
+                )
+            self._matrix = None
+        else:
+            if parametric:
+                raise CircuitError(
+                    f"gate {name!r} has unbound parameters "
+                    f"{[p.name for p in self.parameters]} and cannot carry a "
+                    "concrete matrix"
+                )
+            self._matrix = _as_readonly_matrix(matrix, num_qubits)
 
     @property
     def name(self) -> str:
@@ -75,19 +103,39 @@ class Gate:
 
     @property
     def matrix(self) -> np.ndarray:
-        """The (read-only) unitary matrix of the gate."""
+        """The (read-only) unitary matrix of the gate.
+
+        Raises :class:`CircuitError` for parametric gates — a gate with
+        unbound parameters has no matrix until :meth:`Circuit.bind`
+        substitutes values.
+        """
+        if self._matrix is None:
+            raise CircuitError(
+                f"gate {self._name!r} has unbound parameters "
+                f"{[p.name for p in self.parameters]}; bind them "
+                "(Circuit.bind) before asking for the matrix"
+            )
         return self._matrix
 
     @property
-    def params(self) -> Tuple[float, ...]:
+    def params(self) -> Tuple[ParamValue, ...]:
         return self._params
 
+    @property
+    def is_parametric(self) -> bool:
+        """Whether any parameter is an unbound :class:`Parameter`."""
+        return self._matrix is None
+
+    @property
+    def parameters(self) -> Tuple[Parameter, ...]:
+        """The unbound :class:`Parameter` symbols, in parameter order."""
+        return tuple(p for p in self._params if isinstance(p, Parameter))
+
     def is_unitary(self, atol: float = _ATOL) -> bool:
-        dim = self._matrix.shape[0]
+        matrix = self.matrix  # raises for parametric gates
+        dim = matrix.shape[0]
         return bool(
-            np.allclose(
-                self._matrix @ self._matrix.conj().T, np.eye(dim), atol=atol
-            )
+            np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=atol)
         )
 
     def inverse(self) -> "Gate":
@@ -100,6 +148,11 @@ class Gate:
         gates keep their name and anything else gets a ``dg`` suffix
         appended or stripped (``g.inverse().inverse() == g`` name-wise).
         """
+        if self._matrix is None:
+            raise CircuitError(
+                f"parametric gate {self._name!r} has no inverse until its "
+                "parameters are bound"
+            )
         adj = self._matrix.conj().T
         try:
             from repro.gates.registry import resolve_inverse
@@ -122,18 +175,25 @@ class Gate:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Gate):
             return NotImplemented
-        return (
-            self._name == other._name
-            and self._num_qubits == other._num_qubits
-            and self._params == other._params
-            and np.array_equal(self._matrix, other._matrix)
-        )
+        if (
+            self._name != other._name
+            or self._num_qubits != other._num_qubits
+            or self._params != other._params
+        ):
+            return False
+        if self._matrix is None or other._matrix is None:
+            # Equal names + params imply equal parametric shape.
+            return self._matrix is None and other._matrix is None
+        return bool(np.array_equal(self._matrix, other._matrix))
 
     def __hash__(self) -> int:
         return hash((self._name, self._num_qubits, self._params))
 
     def __repr__(self) -> str:
         if self._params:
-            args = ", ".join(f"{p:g}" for p in self._params)
+            args = ", ".join(
+                p.name if isinstance(p, Parameter) else f"{p:g}"
+                for p in self._params
+            )
             return f"Gate({self._name}({args}), qubits={self._num_qubits})"
         return f"Gate({self._name}, qubits={self._num_qubits})"

@@ -62,6 +62,11 @@ class Instruction:
         return isinstance(self._operation, Channel)
 
     @property
+    def is_parametric(self) -> bool:
+        """Whether the bound operation is a gate with unbound parameters."""
+        return isinstance(self._operation, Gate) and self._operation.is_parametric
+
+    @property
     def qubits(self) -> Tuple[int, ...]:
         return self._qubits
 

@@ -1,0 +1,50 @@
+"""The :class:`Parameter` symbol for parameterized circuits.
+
+A parameter is a named placeholder that may appear wherever a gate takes a
+real parameter (rotation angles etc.).  Gates carrying unbound parameters
+have no matrix; :meth:`Circuit.bind` substitutes concrete values and
+re-resolves each gate through the registry, so one circuit template can be
+stamped out over a whole parameter sweep without rebuilding the IR.
+
+Two parameters are the same symbol iff their names match — binding is by
+name, so ``Parameter("theta")`` constructed in two places refers to one
+slot.
+"""
+
+from __future__ import annotations
+
+from repro.utils.exceptions import CircuitError
+
+
+class Parameter:
+    """A named symbolic placeholder for a real gate parameter."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise CircuitError(
+                f"parameter name must be a non-empty string, got {name!r}"
+            )
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Parameter):
+            return NotImplemented
+        return self._name == other._name
+
+    def __hash__(self) -> int:
+        return hash((Parameter, self._name))
+
+    def __float__(self) -> float:
+        raise CircuitError(
+            f"parameter {self._name!r} is unbound; bind it to a value "
+            "(Circuit.bind) before simulation"
+        )
+
+    def __repr__(self) -> str:
+        return f"Parameter({self._name!r})"

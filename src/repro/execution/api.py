@@ -1,0 +1,237 @@
+"""The unified execution front door: ``submit()`` and ``execute()``.
+
+One entry point for everything the stack can do: simulate one circuit or
+a batch, sample counts/memory, evaluate observables, and sweep a
+parameterized circuit over many bindings — all configured by a single
+:class:`~repro.execution.RunOptions` object.
+
+Batching semantics worth knowing:
+
+* **Seeding** — batch element ``i`` samples from
+  ``derive_seed(options.seed, i)``, so results are bitwise-reproducible
+  across repeated calls and independent of batch composition.  Element 0
+  matches ``sample_counts(circuit, shots, seed=seed)`` exactly.
+* **Parameter sweeps** — a sweep transpiles the *parametric template
+  once* (parametric gates act as pass barriers) and then binds each
+  point, so an N-point sweep costs one transpile plus N simulations.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.circuit import Circuit, Parameter
+from repro.execution.job import BatchResult, Job, Result
+from repro.execution.options import RunOptions
+from repro.observables import expectation
+from repro.sampling.counts import Counts
+from repro.sampling.sampler import (
+    counts_from_probabilities,
+    memory_from_probabilities,
+    readout_probabilities,
+)
+from repro.sim.registry import get_backend
+from repro.utils.exceptions import ExecutionError
+from repro.utils.rng import derive_seed, ensure_rng
+
+Sweep = Sequence[Mapping[Union[Parameter, str], float]]
+
+
+def _normalise_sweep(parameter_sweep: Sweep, circuit: Circuit) -> List[Dict[str, float]]:
+    names = {p.name for p in circuit.parameters()}
+    if not names:
+        raise ExecutionError(
+            "parameter_sweep given, but the circuit has no unbound parameters"
+        )
+    points: List[Dict[str, float]] = []
+    for index, binding in enumerate(parameter_sweep):
+        if not isinstance(binding, Mapping):
+            raise ExecutionError(
+                f"sweep point {index} must be a mapping of parameters to "
+                f"values, got {type(binding).__name__}"
+            )
+        point: Dict[str, float] = {}
+        for key, value in binding.items():
+            name = key.name if isinstance(key, Parameter) else str(key)
+            if name in point and point[name] != float(value):
+                raise ExecutionError(
+                    f"sweep point {index} has conflicting values for "
+                    f"parameter {name!r}"
+                )
+            point[name] = float(value)
+        missing = sorted(names - set(point))
+        if missing:
+            raise ExecutionError(
+                f"sweep point {index} leaves parameter(s) {missing} unbound"
+            )
+        points.append(point)
+    if not points:
+        raise ExecutionError("parameter_sweep must contain at least one point")
+    return points
+
+
+def _sample(state, options: RunOptions, seed: Optional[int]):
+    """Counts (and optional per-shot memory) for one final state."""
+    rng = ensure_rng(seed)
+    probs = readout_probabilities(state, options.noise_model)
+    if options.memory:
+        # Tally counts from the same per-shot draw so the two views of
+        # one experiment can never disagree.
+        memory = memory_from_probabilities(probs, options.shots, rng, state.num_qubits)
+        tally: Dict[str, int] = {}
+        for outcome in memory:
+            tally[outcome] = tally.get(outcome, 0) + 1
+        return Counts(tally, num_qubits=state.num_qubits), memory
+    return counts_from_probabilities(probs, options.shots, rng, state.num_qubits), None
+
+
+def _run_batch(
+    circuits: List[Circuit],
+    options: RunOptions,
+    bindings: Optional[List[Dict[str, float]]],
+    single: bool,
+) -> Union[Result, BatchResult]:
+    start = time.perf_counter()
+    backend = get_backend(options.backend)
+
+    transpile_time = 0.0
+    if options.optimize or options.passes is not None:
+        from repro.transpile import transpile
+
+        t0 = time.perf_counter()
+        circuits = [transpile(c, passes=options.passes) for c in circuits]
+        transpile_time = time.perf_counter() - t0
+    # The backend must not transpile again (a sweep binds N circuits off
+    # one already-transpiled template).
+    element_options = options.replace(optimize=False, passes=None)
+
+    if bindings is not None:
+        elements: List[Tuple[Circuit, Optional[Dict[str, float]]]] = [
+            (circuits[0].bind(point), point) for point in bindings
+        ]
+    else:
+        elements = [(circuit, None) for circuit in circuits]
+
+    results: List[Result] = []
+    for index, (circuit, point) in enumerate(elements):
+        unbound = circuit.parameters()
+        if unbound:
+            raise ExecutionError(
+                f"circuit {index} still has unbound parameter(s) "
+                f"{[p.name for p in unbound]}; bind them or pass "
+                "parameter_sweep="
+            )
+        element_seed = derive_seed(options.seed, index)
+        t0 = time.perf_counter()
+        state = backend.run(circuit, options=element_options)
+        run_time = time.perf_counter() - t0
+        counts = memory = None
+        sample_time = 0.0
+        if options.shots:
+            t0 = time.perf_counter()
+            counts, memory = _sample(state, options, element_seed)
+            sample_time = time.perf_counter() - t0
+        values = tuple(
+            expectation(state, observable) for observable in options.observables
+        )
+        results.append(
+            Result(
+                circuit,
+                state,
+                counts=counts,
+                memory=memory,
+                observables=options.observables,
+                expectation_values=values,
+                parameters=point,
+                metadata={
+                    "backend": backend.name,
+                    "seed": element_seed,
+                    "run_time_s": run_time,
+                    "sample_time_s": sample_time,
+                },
+            )
+        )
+    if single:
+        return results[0]
+    return BatchResult(
+        results,
+        metadata={
+            "backend": backend.name,
+            "transpile_time_s": transpile_time,
+            "total_time_s": time.perf_counter() - start,
+        },
+    )
+
+
+def submit(
+    circuits: Union[Circuit, Iterable[Circuit]],
+    options: Optional[RunOptions] = None,
+    *,
+    parameter_sweep: Optional[Sweep] = None,
+    **kwargs: Any,
+) -> Job:
+    """Build a lazy :class:`Job` for ``circuits`` under ``options``.
+
+    Accepts either a prebuilt :class:`RunOptions` or the same fields as
+    loose keywords (``backend=``, ``shots=``, ``seed=``, ``optimize=``,
+    ``passes=``, ``noise_model=``, ``observables=``, ``memory=``).
+    """
+    options = RunOptions.coerce(options, **kwargs)
+
+    single = isinstance(circuits, Circuit)
+    circuit_list = [circuits] if single else list(circuits)
+    if not circuit_list:
+        raise ExecutionError("execute() needs at least one circuit")
+    for index, circuit in enumerate(circuit_list):
+        if not isinstance(circuit, Circuit):
+            raise ExecutionError(
+                f"batch element {index} is {type(circuit).__name__}, "
+                "expected a Circuit"
+            )
+
+    bindings: Optional[List[Dict[str, float]]] = None
+    if parameter_sweep is not None:
+        if len(circuit_list) != 1:
+            raise ExecutionError(
+                f"a parameter sweep runs one template circuit, got "
+                f"{len(circuit_list)}"
+            )
+        bindings = _normalise_sweep(parameter_sweep, circuit_list[0])
+        single = False  # a sweep always yields a BatchResult
+    else:
+        for index, circuit in enumerate(circuit_list):
+            unbound = circuit.parameters()
+            if unbound:
+                raise ExecutionError(
+                    f"batch element {index} has unbound parameter(s) "
+                    f"{[p.name for p in unbound]}; bind them "
+                    "(Circuit.bind) or pass parameter_sweep="
+                )
+
+    num_elements = len(bindings) if bindings is not None else len(circuit_list)
+    return Job(
+        lambda: _run_batch(circuit_list, options, bindings, single),
+        options,
+        num_elements,
+    )
+
+
+def execute(
+    circuits: Union[Circuit, Iterable[Circuit]],
+    options: Optional[RunOptions] = None,
+    *,
+    parameter_sweep: Optional[Sweep] = None,
+    **kwargs: Any,
+) -> Union[Result, BatchResult]:
+    """Execute circuits and return their results — the one front door.
+
+    A single :class:`Circuit` yields a :class:`Result`; a sequence of
+    circuits, or a ``parameter_sweep`` over one parametric template,
+    yields a :class:`BatchResult` in submission order.  See
+    :class:`RunOptions` for every knob and the module docstring for the
+    seeding and sweep-transpile guarantees.
+    """
+    return submit(
+        circuits, options, parameter_sweep=parameter_sweep, **kwargs
+    ).result()

@@ -1,0 +1,230 @@
+"""The :class:`Job` handle and its :class:`Result` / :class:`BatchResult`.
+
+``execute()`` separates *what to run* (circuits + :class:`RunOptions`,
+held by a :class:`Job`) from *what came out* (:class:`Result` objects
+carrying the final state handle, sampled :class:`~repro.sampling.Counts`,
+per-observable expectation values, and timing metadata).  Jobs run
+lazily: the work happens on the first :meth:`Job.result` call and the
+outcome is cached, so a handle can be passed around freely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.utils.exceptions import ExecutionError
+
+
+class Result:
+    """The outcome of executing one circuit.
+
+    Everything is computed eagerly at execution time except
+    :meth:`expectation`, which evaluates further observables on the
+    retained state handle on demand.
+    """
+
+    __slots__ = (
+        "_circuit",
+        "_state",
+        "_counts",
+        "_memory",
+        "_observables",
+        "_expectation_values",
+        "_parameters",
+        "_metadata",
+    )
+
+    def __init__(
+        self,
+        circuit,
+        state,
+        counts=None,
+        memory: Optional[List[str]] = None,
+        observables: Tuple[Any, ...] = (),
+        expectation_values: Tuple[float, ...] = (),
+        parameters: Optional[Dict[str, float]] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if len(observables) != len(expectation_values):
+            raise ExecutionError(
+                f"{len(observables)} observable(s) but "
+                f"{len(expectation_values)} expectation value(s)"
+            )
+        self._circuit = circuit
+        self._state = state
+        self._counts = counts
+        self._memory = list(memory) if memory is not None else None
+        self._observables = tuple(observables)
+        self._expectation_values = tuple(float(v) for v in expectation_values)
+        self._parameters = dict(parameters) if parameters is not None else None
+        self._metadata = dict(metadata) if metadata is not None else {}
+
+    @property
+    def circuit(self):
+        """The circuit that actually ran (transpiled and bound)."""
+        return self._circuit
+
+    @property
+    def state(self):
+        """The final state handle (Statevector or DensityMatrix)."""
+        return self._state
+
+    @property
+    def counts(self):
+        """Sampled :class:`~repro.sampling.Counts`; ``None`` when shots=0."""
+        return self._counts
+
+    @property
+    def memory(self) -> Optional[List[str]]:
+        """Per-shot outcome list when ``memory=True`` was requested."""
+        return list(self._memory) if self._memory is not None else None
+
+    @property
+    def observables(self) -> Tuple[Any, ...]:
+        """The observables evaluated at execution time, in request order."""
+        return self._observables
+
+    @property
+    def expectation_values(self) -> Tuple[float, ...]:
+        """``<O>`` for each requested observable, aligned with observables."""
+        return self._expectation_values
+
+    @property
+    def expectations(self) -> Dict[Any, float]:
+        """Observable -> expectation value for the requested observables."""
+        return dict(zip(self._observables, self._expectation_values))
+
+    @property
+    def parameters(self) -> Optional[Dict[str, float]]:
+        """The parameter binding this result ran under (sweeps only)."""
+        return dict(self._parameters) if self._parameters is not None else None
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        """Timing and provenance: backend, derived seed, wall-times."""
+        return dict(self._metadata)
+
+    def expectation(self, observable) -> float:
+        """Evaluate one more observable on the retained final state."""
+        from repro.observables import expectation
+
+        return expectation(self._state, observable)
+
+    def __repr__(self) -> str:
+        shots = self._counts.shots if self._counts is not None else 0
+        return (
+            f"Result({self._state!r}, shots={shots}, "
+            f"observables={len(self._observables)})"
+        )
+
+
+class BatchResult:
+    """An ordered collection of per-circuit :class:`Result` objects."""
+
+    __slots__ = ("_results", "_metadata")
+
+    def __init__(
+        self,
+        results: Sequence[Result],
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        results = tuple(results)
+        if not results:
+            raise ExecutionError("BatchResult needs at least one Result")
+        if not all(isinstance(r, Result) for r in results):
+            raise ExecutionError("BatchResult entries must be Result objects")
+        self._results = results
+        self._metadata = dict(metadata) if metadata is not None else {}
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[Result]:
+        return iter(self._results)
+
+    def __getitem__(self, index) -> Union[Result, Tuple[Result, ...]]:
+        return self._results[index]
+
+    @property
+    def results(self) -> Tuple[Result, ...]:
+        return self._results
+
+    @property
+    def counts(self) -> Tuple[Any, ...]:
+        """Per-circuit counts, aligned with the submitted batch."""
+        return tuple(r.counts for r in self._results)
+
+    @property
+    def expectation_values(self) -> Tuple[Tuple[float, ...], ...]:
+        """Per-circuit expectation tuples, aligned with the batch."""
+        return tuple(r.expectation_values for r in self._results)
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        """Batch-level timing: transpile and total wall-time, backend."""
+        return dict(self._metadata)
+
+    def __repr__(self) -> str:
+        return f"BatchResult({len(self._results)} results)"
+
+
+class Job:
+    """A lazy execution handle: circuits + options, run once on demand.
+
+    Created by :func:`repro.execution.submit`; :meth:`result` performs
+    the work on first call and caches the outcome (or the error), so
+    repeated calls are free and deterministic.
+    """
+
+    __slots__ = ("_runner", "_options", "_num_elements", "_status", "_result", "_error")
+
+    def __init__(
+        self,
+        runner: Callable[[], Union[Result, BatchResult]],
+        options,
+        num_elements: int,
+    ) -> None:
+        self._runner = runner
+        self._options = options
+        self._num_elements = int(num_elements)
+        self._status = "created"
+        self._result: Union[None, Result, BatchResult] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def options(self):
+        """The :class:`RunOptions` this job runs under."""
+        return self._options
+
+    @property
+    def num_elements(self) -> int:
+        """Batch size: circuits submitted, or sweep points."""
+        return self._num_elements
+
+    @property
+    def status(self) -> str:
+        """``"created"``, ``"done"``, or ``"error"``."""
+        return self._status
+
+    def result(self) -> Union[Result, BatchResult]:
+        """Run (first call) or fetch the cached outcome.
+
+        A job that failed re-raises the same error on every call.
+        KeyboardInterrupt/SystemExit are *not* cached — an interrupted
+        job stays retryable.
+        """
+        if self._status == "error":
+            raise self._error
+        if self._status != "done":
+            try:
+                self._result = self._runner()
+            except Exception as exc:
+                self._status = "error"
+                self._error = exc
+                raise
+            self._status = "done"
+            self._runner = None  # free the closure (circuits, bindings)
+        return self._result
+
+    def __repr__(self) -> str:
+        return f"Job({self._num_elements} element(s), status={self._status!r})"

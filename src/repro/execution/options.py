@@ -1,0 +1,136 @@
+"""The frozen :class:`RunOptions` bundle: one object for every run knob.
+
+Before this layer existed, ``run()``, ``sample_counts()`` and the bench
+harness each restated the same growing keyword list by hand.  Every
+execution-shaped entry point — :func:`repro.execute`, the
+:class:`~repro.sim.Backend` protocol, the sampler — now accepts this one
+immutable object instead, so adding a knob is a one-place change.
+
+Kept deliberately free of imports from the simulation stack: backends
+consume ``RunOptions`` (lazily imported at call time), so this module
+must sit below them in the import graph.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import numbers
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.utils.exceptions import ExecutionError
+
+
+def _as_int(value: Any) -> Optional[int]:
+    """Coerce ints and numpy integers to int; None for anything else.
+
+    bools are excluded — ``shots=True`` is always a bug, not one shot.
+    """
+    if isinstance(value, numbers.Integral) and not isinstance(value, bool):
+        return int(value)
+    return None
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Immutable configuration of one execution.
+
+    Parameters
+    ----------
+    backend:
+        Registered backend name, live backend instance, or ``None`` for
+        the default (``"statevector"``).
+    shots:
+        Measurement shots to sample per circuit; ``0`` (default) skips
+        sampling entirely (``Result.counts`` is then ``None``).
+    seed:
+        Integer base seed.  Batch element ``i`` samples with
+        ``derive_seed(seed, i)``, so results are reproducible regardless
+        of batch size or execution order; ``None`` draws fresh entropy.
+    optimize:
+        Transpile through the default pass pipeline before simulation.
+    passes:
+        Explicit pass pipeline (a ``PassManager`` or sequence of
+        ``Pass`` objects); implies optimisation.
+    noise_model:
+        Declarative :class:`~repro.noise.NoiseModel`.  Gate-noise rules
+        require the density-matrix backend; readout error composes with
+        any backend at sampling time.
+    observables:
+        :class:`~repro.observables.Pauli` / ``PauliSum`` observables to
+        evaluate on each final state (a single observable is accepted
+        and wrapped).  Values land on ``Result.expectation_values``.
+    memory:
+        Also record the per-shot outcome list (requires ``shots > 0``);
+        counts are then tallied from the same draw, so the two always
+        agree.
+    """
+
+    backend: Any = None
+    shots: int = 0
+    seed: Optional[int] = None
+    optimize: bool = False
+    passes: Any = None
+    noise_model: Any = None
+    observables: Tuple[Any, ...] = field(default=())
+    memory: bool = False
+
+    def __post_init__(self) -> None:
+        shots = _as_int(self.shots)
+        if shots is None:
+            raise ExecutionError(f"shots must be an int, got {self.shots!r}")
+        if shots < 0:
+            raise ExecutionError(f"shots must be non-negative, got {shots}")
+        object.__setattr__(self, "shots", shots)
+        if self.seed is not None:
+            seed = _as_int(self.seed)
+            if seed is None:
+                raise ExecutionError(
+                    f"seed must be an int or None, got {self.seed!r}; "
+                    "generators are not accepted here — per-element seeds "
+                    "are derived"
+                )
+            object.__setattr__(self, "seed", seed)
+        if self.memory and self.shots == 0:
+            raise ExecutionError("memory=True requires shots > 0")
+        observables = self.observables
+        if observables is None:
+            observables = ()
+        elif not isinstance(observables, (tuple, list)):
+            # A single observable is the common case; wrap it.
+            observables = (observables,)
+        object.__setattr__(self, "observables", tuple(observables))
+        object.__setattr__(self, "optimize", bool(self.optimize))
+        object.__setattr__(self, "memory", bool(self.memory))
+
+    def replace(self, **changes: Any) -> "RunOptions":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def coerce(cls, options: "Optional[RunOptions]", **kwargs: Any) -> "RunOptions":
+        """Resolve an ``(options, **kwargs)`` call surface to one object.
+
+        Accepts either a prebuilt :class:`RunOptions` *or* loose keyword
+        arguments, never both — mixing the two would make it ambiguous
+        which value wins.
+        """
+        if options is not None:
+            if kwargs:
+                raise ExecutionError(
+                    "pass either a RunOptions object or keyword options, "
+                    f"not both (got options= and {sorted(kwargs)})"
+                )
+            if not isinstance(options, cls):
+                raise ExecutionError(
+                    f"expected RunOptions, got {type(options).__name__}"
+                )
+            return options
+        try:
+            return cls(**kwargs)
+        except TypeError:
+            valid = [f.name for f in dataclasses.fields(cls)]
+            unknown = sorted(set(kwargs) - set(valid))
+            raise ExecutionError(
+                f"unknown execution option(s) {unknown}; valid options: {valid}"
+            ) from None

@@ -14,6 +14,7 @@ from typing import Callable, Dict, Tuple
 import numpy as np
 
 from repro.circuit.gate import Gate
+from repro.circuit.parameter import Parameter
 from repro.utils.exceptions import CircuitError
 
 MatrixBuilder = Callable[..., np.ndarray]
@@ -73,14 +74,25 @@ def resolve_inverse(name: str, params: Tuple[float, ...]) -> "Gate | None":
     registry-resolvable ``(name, params)`` pairs.
     """
     entry = _REGISTRY.get(name.lower())
-    if entry is None or entry[3] is None or len(params) != entry[1]:
+    if (
+        entry is None
+        or entry[3] is None
+        or len(params) != entry[1]
+        # Unbound parameters have no adjoint rule to evaluate.
+        or any(isinstance(p, Parameter) for p in params)
+    ):
         return None
     inverse_name, inverse_params = entry[3](*params)
     return get_gate(inverse_name, *inverse_params)
 
 
-def get_gate(name: str, *params: float) -> Gate:
-    """Construct (or fetch from cache) the gate ``name`` with bound ``params``."""
+def get_gate(name: str, *params: "float | Parameter") -> Gate:
+    """Construct (or fetch from cache) the gate ``name`` with ``params``.
+
+    Any parameter may be a symbolic :class:`~repro.circuit.Parameter`; the
+    resulting gate is then *parametric* — it carries no matrix until
+    :meth:`Circuit.bind` substitutes values and re-resolves it here.
+    """
     key = name.lower()
     try:
         num_qubits, num_params, builder, _inverse = _REGISTRY[key]
@@ -92,11 +104,18 @@ def get_gate(name: str, *params: float) -> Gate:
         raise CircuitError(
             f"gate {name!r} takes {num_params} parameter(s), got {len(params)}"
         )
-    bound = tuple(float(p) for p in params)
+    bound = tuple(
+        p if isinstance(p, Parameter) else float(p) for p in params
+    )
     cache_key = (key, bound)
     gate = _GATE_CACHE.get(cache_key)
     if gate is None:
-        gate = Gate(key, num_qubits, builder(*bound), bound)
+        if any(isinstance(p, Parameter) for p in bound):
+            # Deferred gate: identity is (name, params) as usual, the
+            # matrix build waits for Circuit.bind to re-resolve here.
+            gate = Gate(key, num_qubits, None, bound)
+        else:
+            gate = Gate(key, num_qubits, builder(*bound), bound)
         _GATE_CACHE[cache_key] = gate
         if len(_GATE_CACHE) > _GATE_CACHE_MAX:
             _GATE_CACHE.popitem(last=False)

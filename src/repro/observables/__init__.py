@@ -1,0 +1,12 @@
+"""Observable layer: Pauli strings, Pauli sums, and expectation values.
+
+The physically central query "what is ``<O>`` in this state?" lives here:
+:class:`Pauli` / :class:`PauliSum` describe the observable,
+:func:`expectation` evaluates it on either simulated state type by
+tensordot contraction — never through a dense ``2**n x 2**n`` matrix.
+"""
+
+from repro.observables.expectation import expectation
+from repro.observables.pauli import PAULI_MATRICES, Pauli, PauliSum
+
+__all__ = ["PAULI_MATRICES", "Pauli", "PauliSum", "expectation"]

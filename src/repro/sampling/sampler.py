@@ -20,6 +20,13 @@ mixed through :func:`repro.utils.rng.derive_seed`, so repeated runs of the
 same ``(seed, repetition)`` return identical results while different
 repetitions get independent streams — regardless of the order in which they
 execute (see ``repro.parallel``, future work).
+
+This module is also the sampling primitive of the execution layer:
+:func:`repro.execute` draws through the same
+:func:`readout_probabilities` / :func:`counts_from_probabilities` /
+:func:`memory_from_probabilities` helpers, which is why
+``execute(circuit, shots=s, seed=k).counts`` reproduces
+``sample_counts(circuit, s, seed=k)`` bit for bit.
 """
 
 from __future__ import annotations
@@ -69,6 +76,43 @@ def _resolve_rng(seed: SeedLike, repetition: int) -> np.random.Generator:
     return ensure_rng(seed)
 
 
+def readout_probabilities(
+    state: Union[Statevector, DensityMatrix], noise_model=None
+) -> np.ndarray:
+    """Normalised Born probabilities of ``state``, readout error applied.
+
+    float64 even for complex64 states; drift is normalised away so the
+    vector sums to exactly 1 for multinomial/choice.
+    """
+    probs = state.probabilities().astype(np.float64)
+    if noise_model is not None and noise_model.readout_error is not None:
+        probs = noise_model.readout_error.apply(probs, state.num_qubits)
+    return probs / probs.sum()
+
+
+def counts_from_probabilities(
+    probs: np.ndarray, shots: int, rng: np.random.Generator, num_qubits: int
+) -> Counts:
+    """One vectorised multinomial draw of ``shots``, tallied into Counts."""
+    draws = rng.multinomial(shots, probs)
+    (indices,) = np.nonzero(draws)
+    return Counts(
+        {
+            index_to_bitstring(int(i), num_qubits): int(draws[i])
+            for i in indices
+        },
+        num_qubits=num_qubits,
+    )
+
+
+def memory_from_probabilities(
+    probs: np.ndarray, shots: int, rng: np.random.Generator, num_qubits: int
+) -> List[str]:
+    """One vectorised per-shot draw, preserving shot order."""
+    indices = rng.choice(probs.size, size=shots, p=probs)
+    return [index_to_bitstring(int(i), num_qubits) for i in indices]
+
+
 def _prepare(
     source: Source,
     shots: int,
@@ -82,12 +126,7 @@ def _prepare(
         raise SimulationError(f"shots must be positive, got {shots}")
     state = _resolve_state(source, backend, noise_model)
     rng = _resolve_rng(seed, repetition)
-    # float64 even for complex64 states; guard against drift so the
-    # probability vector sums to exactly 1 for multinomial/choice.
-    probs = state.probabilities().astype(np.float64)
-    if noise_model is not None and noise_model.readout_error is not None:
-        probs = noise_model.readout_error.apply(probs, state.num_qubits)
-    return state, rng, probs / probs.sum()
+    return state, rng, readout_probabilities(state, noise_model)
 
 
 def sample_counts(
@@ -123,13 +162,7 @@ def sample_counts(
         readout error applied to the probabilities before drawing.
     """
     state, rng, probs = _prepare(source, shots, seed, repetition, backend, noise_model)
-    draws = rng.multinomial(shots, probs)
-    (indices,) = np.nonzero(draws)
-    counts = {
-        index_to_bitstring(int(i), state.num_qubits): int(draws[i])
-        for i in indices
-    }
-    return Counts(counts, num_qubits=state.num_qubits)
+    return counts_from_probabilities(probs, shots, rng, state.num_qubits)
 
 
 def sample_memory(
@@ -146,5 +179,4 @@ def sample_memory(
     :func:`sample_counts`.
     """
     state, rng, probs = _prepare(source, shots, seed, repetition, backend, noise_model)
-    indices = rng.choice(probs.size, size=shots, p=probs)
-    return [index_to_bitstring(int(i), state.num_qubits) for i in indices]
+    return memory_from_probabilities(probs, shots, rng, state.num_qubits)

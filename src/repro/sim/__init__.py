@@ -16,6 +16,7 @@ User backends implementing the :class:`Backend` protocol join via
 from repro.sim.statevector import Statevector, norm_atol
 from repro.sim.registry import (
     Backend,
+    BaseBackend,
     available_backends,
     get_backend,
     register_backend,
@@ -31,6 +32,7 @@ from repro.sim.density import (
 
 __all__ = [
     "Backend",
+    "BaseBackend",
     "DensityMatrix",
     "DensityMatrixBackend",
     "Statevector",

@@ -14,7 +14,7 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.circuit import Circuit
-from repro.sim.registry import register_backend
+from repro.sim.registry import BaseBackend, register_backend
 from repro.sim.statevector import Statevector
 from repro.utils.exceptions import SimulationError
 
@@ -37,8 +37,15 @@ def apply_gate_tensor(
     return np.moveaxis(out, tuple(range(k)), tuple(targets))
 
 
-class StatevectorBackend:
+class StatevectorBackend(BaseBackend):
     """Executes :class:`~repro.circuit.Circuit` IR on a dense statevector.
+
+    ``run()`` comes from :class:`~repro.sim.registry.BaseBackend` — this
+    class only supplies the pure-state execution kernel and its noise
+    policy: a :class:`~repro.noise.NoiseModel` with gate-noise rules is
+    rejected (a pure state cannot represent Kraus mixing — use the
+    ``density_matrix`` backend), while a readout-error-only model is
+    accepted and applied by the sampling layer, not here.
 
     Parameters
     ----------
@@ -59,46 +66,24 @@ class StatevectorBackend:
     def dtype(self) -> np.dtype:
         return self._dtype
 
-    def run(
-        self,
-        circuit: Circuit,
-        initial_state: Union[None, str, Statevector] = None,
-        optimize: bool = False,
-        passes=None,
-        noise_model=None,
-    ) -> Statevector:
-        """Simulate ``circuit`` and return the final :class:`Statevector`.
-
-        ``initial_state`` may be ``None`` (``|0...0>``), a bitstring, or an
-        existing :class:`Statevector` of matching width.  With
-        ``optimize=True`` the circuit is first rewritten through the
-        default :func:`repro.transpile.transpile` pipeline (identity
-        drops, inverse-pair cancellation, gate fusion); ``passes``
-        supplies a custom pipeline (a :class:`~repro.transpile.PassManager`
-        or a sequence of passes) and implies optimisation.
-
-        ``noise_model`` exists for :class:`~repro.sim.registry.Backend`
-        protocol uniformity: a model with gate-noise rules is rejected (a
-        pure state cannot represent Kraus mixing — use the
-        ``density_matrix`` backend), while a readout-error-only model is
-        accepted and applied by the sampling layer, not here.
-        """
-        if not isinstance(circuit, Circuit):
-            raise SimulationError(
-                f"expected a Circuit, got {type(circuit).__name__}"
-            )
+    def _validate_noise(self, noise_model) -> None:
         if noise_model is not None and getattr(noise_model, "has_gate_noise", False):
             raise SimulationError(
                 "the statevector backend cannot apply gate noise; "
                 "use backend='density_matrix'"
             )
-        if optimize or passes is not None:
-            # Imported lazily: the transpiler consumes the same circuit IR
-            # this backend executes, and a module-level import either way
-            # would create a cycle once transpile utilities touch sim.
-            from repro.transpile import transpile
 
-            circuit = transpile(circuit, passes=passes)
+    def _execute(
+        self,
+        circuit: Circuit,
+        initial_state: Union[None, str, Statevector],
+        options,
+    ) -> Statevector:
+        """Sweep the ``(2,) * n`` amplitude tensor through the circuit.
+
+        ``initial_state`` may be ``None`` (``|0...0>``), a bitstring, or
+        an existing :class:`Statevector` of matching width.
+        """
         # Refuse channel circuits before allocating or sweeping the state:
         # the error is knowable in O(gates), not after seconds of tensordot.
         if circuit.has_channels():

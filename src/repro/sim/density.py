@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.circuit import Circuit
 from repro.sim.backend import apply_gate_tensor
-from repro.sim.registry import register_backend
+from repro.sim.registry import BaseBackend, register_backend
 from repro.sim.statevector import Statevector, _index, norm_atol
 from repro.utils.bitstrings import index_to_bitstring
 from repro.utils.exceptions import SimulationError
@@ -244,14 +244,17 @@ def apply_channel_to_density(
     return total
 
 
-class DensityMatrixBackend:
+class DensityMatrixBackend(BaseBackend):
     """Executes :class:`~repro.circuit.Circuit` IR on a dense density matrix.
 
-    Handles everything the statevector backend cannot: circuits containing
-    :class:`~repro.circuit.Channel` instructions and declarative
-    :class:`~repro.noise.NoiseModel` noise, at O(4**n) memory.  Noiseless
-    circuits produce the pure projector of the statevector result, so the
-    two backends agree exactly on Born probabilities.
+    ``run()`` comes from :class:`~repro.sim.registry.BaseBackend` (the
+    exact same signature as every other backend); this class supplies
+    the mixed-state kernel.  It handles everything the statevector
+    backend cannot: circuits containing :class:`~repro.circuit.Channel`
+    instructions and declarative :class:`~repro.noise.NoiseModel` noise,
+    at O(4**n) memory.  Noiseless circuits produce the pure projector of
+    the statevector result, so the two backends agree exactly on Born
+    probabilities.
 
     Parameters
     ----------
@@ -315,30 +318,21 @@ class DensityMatrixBackend:
             f"cannot initialise from {type(initial_state).__name__}"
         )
 
-    def run(
+    def _execute(
         self,
         circuit: Circuit,
-        initial_state: Union[None, str, Statevector, DensityMatrix] = None,
-        optimize: bool = False,
-        passes=None,
-        noise_model=None,
+        initial_state: Union[None, str, Statevector, DensityMatrix],
+        options,
     ) -> DensityMatrix:
-        """Simulate ``circuit`` and return the final :class:`DensityMatrix`.
+        """Evolve the ``(2,) * 2n`` density tensor through the circuit.
 
-        ``noise_model`` attaches channels after matching gate instructions
-        (see :class:`~repro.noise.NoiseModel`); channel instructions
-        embedded in the circuit are applied as written.  ``optimize`` /
-        ``passes`` transpile first, exactly as for the statevector backend
-        (channels act as barriers, so noise placement survives fusion).
+        ``options.noise_model`` attaches channels after matching gate
+        instructions (see :class:`~repro.noise.NoiseModel`); channel
+        instructions embedded in the circuit are applied as written
+        (channels act as transpile barriers, so noise placement survives
+        fusion).
         """
-        if not isinstance(circuit, Circuit):
-            raise SimulationError(
-                f"expected a Circuit, got {type(circuit).__name__}"
-            )
-        if optimize or passes is not None:
-            from repro.transpile import transpile
-
-            circuit = transpile(circuit, passes=passes)
+        noise_model = options.noise_model
         n = circuit.num_qubits
         rho = self._initial_tensor(n, initial_state)
         for instruction in circuit:

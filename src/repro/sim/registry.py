@@ -1,12 +1,19 @@
-"""Backend protocol and the name -> backend registry.
+"""Backend contract and the name -> backend registry.
 
 Every simulator exposes the same :class:`Backend` surface —
-``run(circuit, initial_state=None, optimize=..., passes=..., noise_model=...)``
-returning a state object with ``num_qubits`` and ``probabilities()`` — so
-the sampler and bench harness dispatch by *name* through
-:func:`get_backend` instead of hard-coding a backend class.  Backends
-register themselves at import time (``repro.sim`` imports both shipped
-backends), and user backends join via :func:`register_backend`.
+``run(circuit, initial_state=None, options=None)`` taking a single
+:class:`~repro.execution.RunOptions` object and returning a state with
+``num_qubits`` and ``probabilities()`` — so the execution layer, sampler
+and bench harness dispatch by *name* through :func:`get_backend` instead
+of hard-coding a backend class.  Backends register themselves at import
+time (``repro.sim`` imports both shipped backends), and user backends
+join via :func:`register_backend`.
+
+:class:`BaseBackend` implements that ``run()`` once — option resolution,
+legacy-keyword shimming, transpilation, unbound-parameter rejection — so
+concrete backends only provide ``_execute`` (and optionally a noise
+validation hook).  The shipped backends share the *identical* ``run``
+method object; the parameter list is stated exactly once.
 """
 
 from __future__ import annotations
@@ -29,11 +36,82 @@ class Backend(Protocol):
         self,
         circuit: Circuit,
         initial_state=None,
+        options=None,
+    ):  # pragma: no cover - protocol signature only
+        ...
+
+
+class BaseBackend:
+    """Shared ``run()`` driver for concrete backends.
+
+    Subclasses set :attr:`name` and implement
+    ``_execute(circuit, initial_state, options)`` on an
+    already-validated, already-transpiled, fully-bound circuit; the
+    ``_validate_noise`` hook lets a backend reject noise it cannot
+    represent before any state is allocated.
+    """
+
+    name = "base"
+
+    def run(
+        self,
+        circuit: Circuit,
+        initial_state=None,
+        options=None,
+        *,
         optimize: bool = False,
         passes=None,
         noise_model=None,
-    ):  # pragma: no cover - protocol signature only
-        ...
+    ):
+        """Simulate ``circuit`` from ``initial_state`` under ``options``.
+
+        ``options`` is a :class:`~repro.execution.RunOptions`; the
+        ``optimize`` / ``passes`` / ``noise_model`` keywords are the
+        legacy pre-options surface, accepted only when ``options`` is
+        not given (the two spellings must not be mixed).
+        """
+        from repro.execution.options import RunOptions
+
+        if not isinstance(circuit, Circuit):
+            raise SimulationError(
+                f"expected a Circuit, got {type(circuit).__name__}"
+            )
+        if options is None:
+            options = RunOptions(
+                optimize=optimize, passes=passes, noise_model=noise_model
+            )
+        else:
+            if optimize or passes is not None or noise_model is not None:
+                raise SimulationError(
+                    "pass either options= or the legacy optimize/passes/"
+                    "noise_model keywords, not both"
+                )
+            if not isinstance(options, RunOptions):
+                raise SimulationError(
+                    f"options must be RunOptions, got {type(options).__name__}"
+                )
+        self._validate_noise(options.noise_model)
+        if options.optimize or options.passes is not None:
+            # Imported lazily: the transpiler consumes the same circuit IR
+            # this backend executes, and a module-level import either way
+            # would create a cycle once transpile utilities touch sim.
+            from repro.transpile import transpile
+
+            circuit = transpile(circuit, passes=options.passes)
+        unbound = circuit.parameters()
+        if unbound:
+            raise SimulationError(
+                f"circuit has unbound parameter(s) "
+                f"{[p.name for p in unbound]}; bind them (Circuit.bind) or "
+                "run a parameter sweep through repro.execute"
+            )
+        return self._execute(circuit, initial_state, options)
+
+    def _validate_noise(self, noise_model) -> None:
+        """Reject noise this backend cannot represent (default: accept)."""
+
+    def _execute(self, circuit: Circuit, initial_state, options):
+        raise NotImplementedError  # pragma: no cover - abstract hook
 
 
 BackendLike = Union[None, str, Backend]
@@ -69,9 +147,10 @@ def get_backend(backend: BackendLike = None) -> Backend:
     """Resolve ``backend`` to a live backend instance.
 
     ``None`` means the default (``"statevector"``); a string is looked up
-    in the registry; an object that already quacks like a backend (has
-    ``run`` and ``name``) is passed through so callers can hand in a
-    specially configured instance (e.g. a ``complex64`` backend).
+    in the registry (case-insensitively); an object that already quacks
+    like a backend (has ``run`` and ``name``) is passed through so
+    callers can hand in a specially configured instance (e.g. a
+    ``complex64`` backend).
     """
     if backend is None:
         backend = DEFAULT_BACKEND
@@ -100,19 +179,34 @@ def run(
     passes=None,
     backend: BackendLike = None,
     noise_model=None,
+    options=None,
 ):
     """Simulate ``circuit`` on ``backend`` (default ``"statevector"``).
 
-    The unified entry point: ``backend`` selects the simulator by name or
-    instance, ``noise_model`` attaches declarative noise (density-matrix
-    backend only).  Returns whatever state type the backend produces
-    (:class:`~repro.sim.Statevector` or
-    :class:`~repro.sim.DensityMatrix`).
+    A thin shim over the unified backend surface, kept for the original
+    kwarg-style call sites: the keywords are folded into a
+    :class:`~repro.execution.RunOptions` (or ``options=`` is forwarded
+    as-is) and dispatched to ``Backend.run``.  Returns whatever state
+    type the backend produces (:class:`~repro.sim.Statevector` or
+    :class:`~repro.sim.DensityMatrix`).  New code wanting counts or
+    expectation values should prefer :func:`repro.execute`.
     """
-    return get_backend(backend).run(
-        circuit,
-        initial_state,
-        optimize=optimize,
-        passes=passes,
-        noise_model=noise_model,
-    )
+    from repro.execution.options import RunOptions
+
+    if options is None:
+        options = RunOptions(
+            optimize=optimize, passes=passes, noise_model=noise_model
+        )
+    elif optimize or passes is not None or noise_model is not None:
+        raise SimulationError(
+            "pass either options= or the legacy optimize/passes/"
+            "noise_model keywords, not both"
+        )
+    elif backend is not None and options.backend is not None:
+        # Same rule as the other duplicated knobs: never silently pick one.
+        raise SimulationError(
+            "backend is specified both as a keyword and in options; "
+            "pass it in one place only"
+        )
+    resolved = get_backend(backend if backend is not None else options.backend)
+    return resolved.run(circuit, initial_state, options)

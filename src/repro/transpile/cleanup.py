@@ -47,9 +47,12 @@ class DropIdentities(Pass):
         out = Circuit(circuit.num_qubits, circuit.name)
         for instruction in circuit:
             # Channels are never identities (they are irreversible maps);
-            # keep them verbatim.
-            if instruction.is_channel or not self._is_droppable(
-                instruction.gate.matrix
+            # parametric gates have no matrix to test until bound.  Keep
+            # both verbatim.
+            if (
+                instruction.is_channel
+                or instruction.is_parametric
+                or not self._is_droppable(instruction.gate.matrix)
             ):
                 out.append(instruction.operation, instruction.qubits)
         return out
@@ -105,8 +108,12 @@ class CancelInversePairs(Pass):
                 # Channels neither cancel nor are cancelled: a channel is
                 # not the inverse of anything, and a channel blocker pins
                 # the gates behind it (no commuting past irreversible maps).
+                # Parametric gates likewise: without a matrix there is no
+                # inverse test, so they block like channels.
                 and not instruction.is_channel
                 and not kept[blocker].is_channel
+                and not instruction.is_parametric
+                and not kept[blocker].is_parametric
                 and self._are_inverse(kept[blocker].gate, instruction.gate)
             ):
                 kept.pop(blocker)

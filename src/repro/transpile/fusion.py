@@ -125,7 +125,13 @@ class FuseAdjacentGates(Pass):
             # Channels are fusion barriers: a Kraus map has no single
             # matrix to fold into a unitary product, and reordering noise
             # relative to gates changes the simulated distribution.
-            if instruction.is_channel or len(instruction.qubits) > self.max_width:
+            # Parametric gates are barriers too — there is no matrix to
+            # fold until the parameters are bound.
+            if (
+                instruction.is_channel
+                or instruction.is_parametric
+                or len(instruction.qubits) > self.max_width
+            ):
                 flush()
                 out.append(instruction.operation, instruction.qubits)
                 continue

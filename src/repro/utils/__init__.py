@@ -1,8 +1,8 @@
 """Shared utilities: error types, RNG handling, bitstring helpers."""
 
 from repro.utils.exceptions import (
-    CharterError,
     CircuitError,
+    ExecutionError,
     NoiseModelError,
     ReproError,
     SimulationError,
@@ -24,7 +24,7 @@ __all__ = [
     "TranspilerError",
     "SimulationError",
     "NoiseModelError",
-    "CharterError",
+    "ExecutionError",
     "derive_seed",
     "ensure_rng",
     "spawn_rngs",

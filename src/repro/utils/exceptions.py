@@ -25,5 +25,10 @@ class NoiseModelError(ReproError):
     """Raised for inconsistent noise-model or calibration specifications."""
 
 
-class CharterError(ReproError):
-    """Raised by the CHARTER core for invalid analysis requests."""
+class ExecutionError(ReproError):
+    """Raised by the execution/observables layer for invalid requests.
+
+    Covers malformed :class:`~repro.execution.RunOptions`, inconsistent
+    ``execute()`` batches or parameter sweeps, and ill-formed
+    :class:`~repro.observables.Pauli` observables.
+    """

@@ -28,6 +28,19 @@ _ROW_KEYS = {
     "run_time_fused_s",
     "speedup",
     "counts_match",
+    "expectation_z0",
+    "expectations_match",
+}
+
+_SWEEP_KEYS = {
+    "name",
+    "num_qubits",
+    "points",
+    "parameters",
+    "transpile_calls",
+    "run_time_s",
+    "expectations",
+    "reproducible",
 }
 
 
@@ -47,9 +60,11 @@ def smoke_report():
 
 class TestRunSuite:
     def test_schema(self, smoke_report):
-        assert smoke_report["schema_version"] == SCHEMA_VERSION == 2
+        assert smoke_report["schema_version"] == SCHEMA_VERSION == 3
         assert smoke_report["config"]["smoke"] is True
         assert smoke_report["config"]["backend"] == "statevector"
+        assert smoke_report["config"]["sweep"] is False
+        assert smoke_report["sweep"] is None
         for row in smoke_report["workloads"]:
             assert set(row) == _ROW_KEYS
 
@@ -59,6 +74,26 @@ class TestRunSuite:
 
     def test_counts_match_everywhere(self, smoke_report):
         assert all(row["counts_match"] for row in smoke_report["workloads"])
+
+    def test_expectations_match_everywhere(self, smoke_report):
+        for row in smoke_report["workloads"]:
+            assert row["expectations_match"]
+            assert -1.0 - 1e-9 <= row["expectation_z0"] <= 1.0 + 1e-9
+
+    def test_sweep_section(self):
+        report = run_suite(
+            workloads=[Workload("ghz", 2, lambda: ghz(2))],
+            smoke=True,
+            shots=64,
+            sweep=True,
+        )
+        sweep = report["sweep"]
+        assert report["config"]["sweep"] is True
+        assert set(sweep) == _SWEEP_KEYS
+        assert sweep["transpile_calls"] == 1
+        assert sweep["reproducible"] is True
+        assert len(sweep["expectations"]) == sweep["points"]
+        _strict_loads(json.dumps(report))
 
     def test_layered_rotations_fuses(self, smoke_report):
         rows = [
@@ -275,6 +310,16 @@ class TestCli:
         report = _strict_loads(capsys.readouterr().out)
         assert report["schema_version"] == SCHEMA_VERSION
         assert report["config"]["repeats"] == 1  # smoke defaults to one repeat
+
+    def test_main_json_smoke_sweep(self, capsys):
+        # The CI sweep leg, in-process: the schema-3 sweep section must
+        # report exactly one transpile for the whole batch.
+        exit_code = main(["--json", "--smoke", "--sweep", "--shots", "64"])
+        assert exit_code == 0
+        report = _strict_loads(capsys.readouterr().out)
+        assert report["config"]["sweep"] is True
+        assert report["sweep"]["transpile_calls"] == 1
+        assert report["sweep"]["reproducible"] is True
 
     def test_main_density_backend_full_size_refused_cleanly(self, capsys):
         # --backend density_matrix without --smoke targets n=16 workloads:

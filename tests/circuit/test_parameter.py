@@ -1,0 +1,164 @@
+"""Tests for Parameter symbols, parametric gates, and Circuit.bind."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, Parameter
+from repro.gates import get_gate
+from repro.utils.exceptions import CircuitError
+
+
+class TestParameter:
+    def test_name_identity(self):
+        theta = Parameter("theta")
+        assert theta.name == "theta"
+        assert theta == Parameter("theta")
+        assert theta != Parameter("phi")
+        assert hash(theta) == hash(Parameter("theta"))
+
+    def test_invalid_name(self):
+        with pytest.raises(CircuitError):
+            Parameter("")
+        with pytest.raises(CircuitError):
+            Parameter(3)
+
+    def test_float_coercion_refused(self):
+        with pytest.raises(CircuitError, match="unbound"):
+            float(Parameter("theta"))
+
+    def test_repr(self):
+        assert repr(Parameter("theta")) == "Parameter('theta')"
+
+
+class TestParametricGate:
+    def test_registry_builds_deferred_gate(self):
+        gate = get_gate("rz", Parameter("theta"))
+        assert gate.is_parametric
+        assert gate.parameters == (Parameter("theta"),)
+        assert gate.params == (Parameter("theta"),)
+
+    def test_matrix_access_raises(self):
+        gate = get_gate("rx", Parameter("theta"))
+        with pytest.raises(CircuitError, match="unbound"):
+            gate.matrix
+
+    def test_inverse_raises(self):
+        gate = get_gate("ry", Parameter("theta"))
+        with pytest.raises(CircuitError, match="inverse"):
+            gate.inverse()
+
+    def test_is_unitary_raises(self):
+        gate = get_gate("rz", Parameter("theta"))
+        with pytest.raises(CircuitError):
+            gate.is_unitary()
+
+    def test_parametric_gates_cached_by_identity(self):
+        assert get_gate("rz", Parameter("a")) is get_gate("rz", Parameter("a"))
+        assert get_gate("rz", Parameter("a")) is not get_gate("rz", Parameter("b"))
+
+    def test_bound_gate_never_deferred(self):
+        assert not get_gate("rz", 0.5).is_parametric
+        assert get_gate("rz", 0.5).parameters == ()
+
+    def test_gate_with_matrix_rejects_unbound_params(self):
+        from repro.circuit import Gate
+
+        with pytest.raises(CircuitError, match="unbound"):
+            Gate("rz", 1, np.eye(2), (Parameter("theta"),))
+
+    def test_gate_without_matrix_requires_parameters(self):
+        from repro.circuit import Gate
+
+        with pytest.raises(CircuitError, match="no unbound parameters"):
+            Gate("rz", 1, None, (0.5,))
+
+    def test_mixed_bound_and_unbound_params(self):
+        gate = get_gate("u3", 0.1, Parameter("phi"), 0.3)
+        assert gate.is_parametric
+        assert gate.parameters == (Parameter("phi"),)
+        assert gate.params == (0.1, Parameter("phi"), 0.3)
+
+
+class TestCircuitBind:
+    def test_parameters_in_first_use_order(self):
+        a, b = Parameter("a"), Parameter("b")
+        circuit = Circuit(2).rz(b, 0).rx(a, 1).ry(b, 0)
+        assert circuit.parameters() == (b, a)
+        assert circuit.is_parametric()
+
+    def test_bind_produces_concrete_circuit(self):
+        theta = Parameter("theta")
+        circuit = Circuit(1).ry(theta, 0)
+        bound = circuit.bind({theta: 0.7})
+        assert not bound.is_parametric()
+        reference = Circuit(1).ry(0.7, 0)
+        assert bound == reference
+        # Binding is non-destructive: the template stays symbolic.
+        assert circuit.is_parametric()
+
+    def test_bind_by_name(self):
+        circuit = Circuit(1).rz(Parameter("theta"), 0)
+        assert circuit.bind({"theta": 1.2}) == Circuit(1).rz(1.2, 0)
+
+    def test_partial_binding_keeps_rest_symbolic(self):
+        a, b = Parameter("a"), Parameter("b")
+        circuit = Circuit(2).rx(a, 0).ry(b, 1)
+        partial = circuit.bind({a: 0.5})
+        assert partial.parameters() == (b,)
+        full = partial.bind({b: 0.25})
+        assert full == Circuit(2).rx(0.5, 0).ry(0.25, 1)
+
+    def test_shared_symbol_binds_everywhere(self):
+        theta = Parameter("theta")
+        circuit = Circuit(2).rz(theta, 0).rz(theta, 1)
+        bound = circuit.bind({theta: 0.3})
+        assert bound == Circuit(2).rz(0.3, 0).rz(0.3, 1)
+
+    def test_stray_key_rejected(self):
+        circuit = Circuit(1).rz(Parameter("theta"), 0)
+        with pytest.raises(CircuitError, match="unknown parameter"):
+            circuit.bind({"theta": 0.1, "typo": 0.2})
+
+    def test_conflicting_values_rejected(self):
+        theta = Parameter("theta")
+        circuit = Circuit(1).rz(theta, 0)
+        with pytest.raises(CircuitError, match="conflicting"):
+            circuit.bind({theta: 0.1, "theta": 0.2})
+
+    def test_non_parametric_instructions_survive_bind(self):
+        from repro.noise import depolarizing
+
+        theta = Parameter("theta")
+        circuit = (
+            Circuit(2)
+            .h(0)
+            .channel(depolarizing(0.05), (0,))
+            .ry(theta, 1)
+            .unitary(np.eye(4), (0, 1))
+        )
+        bound = circuit.bind({theta: 0.4})
+        assert bound.count_ops() == circuit.count_ops()
+        assert bound.has_channels()
+
+    def test_simulating_unbound_circuit_fails_loudly(self):
+        from repro import run
+        from repro.utils.exceptions import SimulationError
+
+        circuit = Circuit(1).ry(Parameter("theta"), 0)
+        with pytest.raises(SimulationError, match="unbound parameter"):
+            run(circuit)
+
+    def test_transpile_treats_parametric_gates_as_barriers(self):
+        from repro.transpile import transpile
+
+        theta = Parameter("theta")
+        # h·h around the parametric gate must not cancel through it, and
+        # the parametric gate itself must survive fusion untouched.
+        circuit = Circuit(1).h(0).ry(theta, 0).h(0).rz(0.0, 0)
+        out = transpile(circuit)
+        assert any(inst.is_parametric for inst in out)
+        bound = out.bind({theta: 0.0})
+        from repro import run
+
+        expected = run(circuit.bind({theta: 0.0}))
+        np.testing.assert_allclose(run(bound).data, expected.data, atol=1e-10)

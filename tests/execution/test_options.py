@@ -1,0 +1,91 @@
+"""Tests for the frozen RunOptions bundle."""
+
+import dataclasses
+
+import pytest
+
+from repro import Pauli, PauliSum, RunOptions
+from repro.utils.exceptions import ExecutionError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        options = RunOptions()
+        assert options.backend is None
+        assert options.shots == 0
+        assert options.seed is None
+        assert options.optimize is False
+        assert options.passes is None
+        assert options.noise_model is None
+        assert options.observables == ()
+        assert options.memory is False
+
+    def test_frozen(self):
+        options = RunOptions()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            options.shots = 7
+
+    def test_single_observable_wrapped(self):
+        options = RunOptions(observables=Pauli("Z"))
+        assert options.observables == (Pauli("Z"),)
+
+    def test_observable_list_normalised_to_tuple(self):
+        obs = PauliSum([(1.0, Pauli("Z"))])
+        options = RunOptions(observables=[obs])
+        assert options.observables == (obs,)
+
+    def test_replace_revalidates(self):
+        options = RunOptions(shots=16)
+        assert options.replace(shots=32).shots == 32
+        assert options.shots == 16  # original untouched
+        with pytest.raises(ExecutionError):
+            options.replace(shots=-1)
+
+
+class TestValidation:
+    def test_negative_shots(self):
+        with pytest.raises(ExecutionError, match="shots"):
+            RunOptions(shots=-1)
+
+    def test_non_integer_shots(self):
+        with pytest.raises(ExecutionError, match="shots"):
+            RunOptions(shots=12.5)
+        with pytest.raises(ExecutionError, match="shots"):
+            RunOptions(shots=True)
+
+    def test_non_integer_seed(self):
+        import numpy as np
+
+        with pytest.raises(ExecutionError, match="seed"):
+            RunOptions(seed=np.random.default_rng(0))
+        with pytest.raises(ExecutionError, match="seed"):
+            RunOptions(seed="7")
+
+    def test_memory_requires_shots(self):
+        with pytest.raises(ExecutionError, match="memory"):
+            RunOptions(memory=True)
+        assert RunOptions(memory=True, shots=1).memory is True
+
+
+class TestCoerce:
+    def test_kwargs_build_options(self):
+        options = RunOptions.coerce(None, shots=8, seed=3)
+        assert (options.shots, options.seed) == (8, 3)
+
+    def test_prebuilt_options_pass_through(self):
+        options = RunOptions(shots=8)
+        assert RunOptions.coerce(options) is options
+
+    def test_mixing_rejected(self):
+        with pytest.raises(ExecutionError, match="not both"):
+            RunOptions.coerce(RunOptions(), shots=8)
+
+    def test_unknown_keyword_lists_valid_options(self):
+        with pytest.raises(ExecutionError) as excinfo:
+            RunOptions.coerce(None, shotz=8)
+        message = str(excinfo.value)
+        assert "shotz" in message and "shots" in message
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ExecutionError, match="RunOptions"):
+            RunOptions.coerce({"shots": 8})

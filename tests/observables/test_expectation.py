@@ -1,0 +1,94 @@
+"""Tests for expectation values on pure and mixed states."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, run
+from repro.observables import Pauli, PauliSum, expectation
+from repro.sim import DensityMatrix, Statevector
+from repro.utils.exceptions import ExecutionError
+
+
+class TestStatevectorExpectation:
+    def test_z_on_basis_states(self):
+        assert expectation(Statevector.from_bitstring("0"), Pauli("Z")) == 1.0
+        assert expectation(Statevector.from_bitstring("1"), Pauli("Z")) == -1.0
+
+    def test_x_on_plus_state(self):
+        plus = run(Circuit(1).h(0))
+        assert expectation(plus, Pauli("X")) == pytest.approx(1.0)
+        assert expectation(plus, Pauli("Z")) == pytest.approx(0.0, abs=1e-12)
+
+    def test_identity_string(self):
+        state = run(Circuit(2).h(0).cx(0, 1))
+        assert expectation(state, Pauli("II")) == pytest.approx(1.0)
+
+    def test_zz_on_bell_state(self):
+        bell = run(Circuit(2).h(0).cx(0, 1))
+        assert expectation(bell, Pauli("ZZ")) == pytest.approx(1.0)
+        assert expectation(bell, Pauli("XX")) == pytest.approx(1.0)
+        assert expectation(bell, Pauli("YY")) == pytest.approx(-1.0)
+        assert expectation(bell, Pauli("ZI")) == pytest.approx(0.0, abs=1e-12)
+
+    def test_sparse_qubit_targets(self):
+        state = run(Circuit(3).x(2))
+        assert expectation(state, Pauli("Z", qubits=(2,))) == pytest.approx(-1.0)
+        assert expectation(state, Pauli("Z", qubits=(0,))) == pytest.approx(1.0)
+
+    def test_pauli_sum_is_linear(self):
+        bell = run(Circuit(2).h(0).cx(0, 1))
+        obs = PauliSum([(0.5, Pauli("ZZ")), (2.0, Pauli("XX")), (1.0, Pauli("YY"))])
+        assert expectation(bell, obs) == pytest.approx(0.5 + 2.0 - 1.0)
+
+    def test_matches_dense_matrix_expectation(self):
+        state = run(Circuit(2).rx(0.3, 0).ry(0.8, 1).cx(0, 1))
+        z = np.array([[1, 0], [0, -1]], dtype=complex)
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        dense = np.kron(z, x)
+        expected = state.expectation(dense, (0, 1)).real
+        assert expectation(state, Pauli("ZX")) == pytest.approx(expected, abs=1e-12)
+
+    def test_agrees_with_expectation_z(self):
+        state = run(Circuit(2).ry(1.1, 0).cx(0, 1))
+        assert expectation(state, Pauli("Z", qubits=(1,))) == pytest.approx(
+            state.expectation_z(1), abs=1e-12
+        )
+
+
+class TestDensityMatrixExpectation:
+    def test_pure_projector_matches_statevector(self):
+        circuit = Circuit(2).h(0).cx(0, 1).rz(0.4, 1)
+        psi = run(circuit)
+        rho = run(circuit, backend="density_matrix")
+        for label in ("ZZ", "XX", "XY", "ZI", "IY"):
+            assert expectation(rho, Pauli(label)) == pytest.approx(
+                expectation(psi, Pauli(label)), abs=1e-10
+            )
+
+    def test_maximally_mixed_state(self):
+        rho = DensityMatrix(np.eye(2) / 2)
+        assert expectation(rho, Pauli("Z")) == pytest.approx(0.0, abs=1e-12)
+        assert expectation(rho, Pauli("X")) == pytest.approx(0.0, abs=1e-12)
+
+    def test_depolarized_z_shrinks(self):
+        from repro.noise import depolarizing
+
+        circuit = Circuit(1).x(0).channel(depolarizing(0.3), (0,))
+        rho = run(circuit, backend="density_matrix")
+        value = expectation(rho, Pauli("Z"))
+        assert -1.0 < value < 0.0  # shrunk toward 0 but still negative
+
+
+class TestValidation:
+    def test_observable_wider_than_state(self):
+        state = Statevector.zero_state(1)
+        with pytest.raises(ExecutionError, match="qubit"):
+            expectation(state, Pauli("ZZ"))
+
+    def test_bad_state_type(self):
+        with pytest.raises(ExecutionError, match="Statevector"):
+            expectation(np.eye(2), Pauli("Z"))
+
+    def test_bad_observable_type(self):
+        with pytest.raises(ExecutionError, match="observable"):
+            expectation(Statevector.zero_state(1), "Z")

@@ -1,0 +1,93 @@
+"""Tests for Pauli / PauliSum observable construction and algebra."""
+
+import pytest
+
+from repro.observables import Pauli, PauliSum
+from repro.utils.exceptions import ExecutionError
+
+
+class TestPauli:
+    def test_dense_label(self):
+        pauli = Pauli("XIZ")
+        assert pauli.factors == ((0, "X"), (2, "Z"))
+        assert pauli.qubits == (0, 2)
+        assert pauli.weight == 2
+        assert pauli.min_width == 3
+
+    def test_sparse_qubits(self):
+        assert Pauli("Z", qubits=(3,)).factors == ((3, "Z"),)
+        assert Pauli("Z", qubits=(3,)).min_width == 4
+
+    def test_identity_factors_are_normalisation_only(self):
+        assert Pauli("IZ") == Pauli("Z", qubits=(1,))
+        assert hash(Pauli("IZ")) == hash(Pauli("Z", qubits=(1,)))
+
+    def test_case_insensitive(self):
+        assert Pauli("xyz") == Pauli("XYZ")
+
+    def test_factor_order_canonical(self):
+        assert Pauli("XZ", qubits=(2, 0)) == Pauli("ZX", qubits=(0, 2))
+
+    def test_label_round_trip(self):
+        assert Pauli("XIZ").label() == "XIZ"
+        assert Pauli("Z", qubits=(1,)).label(num_qubits=3) == "IZI"
+        with pytest.raises(ExecutionError):
+            Pauli("XIZ").label(num_qubits=2)
+
+    def test_pure_identity(self):
+        identity = Pauli("III")
+        assert identity.weight == 0
+        assert identity.min_width == 1
+
+    def test_invalid_labels(self):
+        with pytest.raises(ExecutionError):
+            Pauli("")
+        with pytest.raises(ExecutionError):
+            Pauli("XQ")
+        with pytest.raises(ExecutionError):
+            Pauli("XX", qubits=(0,))
+        with pytest.raises(ExecutionError):
+            Pauli("XX", qubits=(0, 0))
+        with pytest.raises(ExecutionError):
+            Pauli("X", qubits=(-1,))
+
+
+class TestPauliSum:
+    def test_terms_from_pairs_and_bare_paulis(self):
+        obs = PauliSum([(0.5, Pauli("Z")), Pauli("X")])
+        assert obs.terms == ((0.5, Pauli("Z")), (1.0, Pauli("X")))
+        assert len(obs) == 2
+
+    def test_duplicate_terms_combine(self):
+        obs = PauliSum([(0.5, Pauli("Z")), (0.25, Pauli("Z"))])
+        assert obs.terms == ((0.75, Pauli("Z")),)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExecutionError, match="at least one term"):
+            PauliSum([])
+
+    def test_complex_coefficient_rejected(self):
+        with pytest.raises(ExecutionError, match="real"):
+            PauliSum([(1j, Pauli("Z"))])
+        # A complex with zero imaginary part is fine.
+        assert PauliSum([(complex(2, 0), Pauli("Z"))]).terms == ((2.0, Pauli("Z")),)
+
+    def test_arithmetic(self):
+        obs = 0.5 * Pauli("Z") + Pauli("X", qubits=(1,))
+        assert isinstance(obs, PauliSum)
+        assert obs.terms == ((0.5, Pauli("Z")), (1.0, Pauli("X", qubits=(1,))))
+        doubled = 2 * obs
+        assert doubled.terms == ((1.0, Pauli("Z")), (2.0, Pauli("X", qubits=(1,))))
+        assert obs.min_width == 2
+
+    def test_equality_ignores_term_order(self):
+        a = PauliSum([(0.5, Pauli("Z")), (1.0, Pauli("X"))])
+        b = PauliSum([(1.0, Pauli("X")), (0.5, Pauli("Z"))])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_malformed_terms(self):
+        with pytest.raises(ExecutionError):
+            PauliSum([42])
+        with pytest.raises(ExecutionError):
+            PauliSum([(1.0, "Z")])

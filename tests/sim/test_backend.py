@@ -125,3 +125,52 @@ def test_hot_path_source_builds_no_dense_operator():
     source = inspect.getsource(backend_module.apply_gate_tensor)
     assert "tensordot" in source
     assert "kron" not in source
+
+
+class TestSharedRunSignature:
+    """Both shipped backends share one run() — the signature is stated once."""
+
+    def test_run_is_the_same_method_object(self):
+        from repro.sim import BaseBackend, DensityMatrixBackend
+
+        assert (
+            StatevectorBackend.run
+            is DensityMatrixBackend.run
+            is BaseBackend.run
+        )
+
+    def test_signatures_identical(self):
+        from repro.sim import DensityMatrixBackend
+
+        assert inspect.signature(StatevectorBackend.run) == inspect.signature(
+            DensityMatrixBackend.run
+        )
+
+    def test_both_backends_accept_identical_options(self):
+        from repro import RunOptions
+        from repro.sim import DensityMatrixBackend
+        from repro.transpile import FuseAdjacentGates
+
+        options = RunOptions(optimize=True, passes=[FuseAdjacentGates()])
+        circuit = Circuit(2).h(0).cx(0, 1)
+        psi = StatevectorBackend().run(circuit, options=options)
+        rho = DensityMatrixBackend().run(circuit, options=options)
+        assert rho.fidelity(psi) == pytest.approx(1.0)
+
+    def test_legacy_keywords_still_accepted(self):
+        circuit = Circuit(1).rz(0.5, 0).rz(-0.5, 0)
+        assert StatevectorBackend().run(circuit, optimize=True) == (
+            StatevectorBackend().run(circuit)
+        )
+
+    def test_mixing_options_and_legacy_keywords_rejected(self):
+        from repro import RunOptions
+
+        with pytest.raises(SimulationError, match="not both"):
+            StatevectorBackend().run(
+                Circuit(1).h(0), options=RunOptions(), optimize=True
+            )
+
+    def test_non_runoptions_object_rejected(self):
+        with pytest.raises(SimulationError, match="RunOptions"):
+            StatevectorBackend().run(Circuit(1).h(0), options={"optimize": True})

@@ -31,6 +31,10 @@ class TestGetBackend:
     def test_lookup_is_case_insensitive(self):
         assert get_backend("STATEVECTOR") is get_backend("statevector")
 
+    def test_mixed_case_lookup_shares_the_instance(self):
+        assert get_backend("StateVector") is get_backend("statevector")
+        assert get_backend("Density_Matrix") is get_backend("density_matrix")
+
     def test_instances_are_shared(self):
         assert get_backend("statevector") is get_backend("statevector")
 
@@ -42,6 +46,14 @@ class TestGetBackend:
         with pytest.raises(SimulationError, match="available"):
             get_backend("tensor_network")
 
+    def test_unknown_name_message_lists_available_backends(self):
+        with pytest.raises(SimulationError) as excinfo:
+            get_backend("tensor_network")
+        message = str(excinfo.value)
+        assert "tensor_network" in message
+        for name in available_backends():
+            assert name in message
+
     def test_unresolvable_object(self):
         with pytest.raises(SimulationError):
             get_backend(42)
@@ -51,6 +63,16 @@ class TestRegisterBackend:
     def test_duplicate_name_rejected(self):
         with pytest.raises(SimulationError, match="already registered"):
             register_backend("statevector", StatevectorBackend)
+
+    def test_duplicate_rejected_after_instantiation(self):
+        # Force the lazy factory to have run, then try to re-register:
+        # the live instance must survive the rejected attempt untouched.
+        instance = get_backend("statevector")
+        with pytest.raises(SimulationError, match="already registered"):
+            register_backend("statevector", lambda: StatevectorBackend())
+        with pytest.raises(SimulationError, match="already registered"):
+            register_backend("STATEVECTOR", StatevectorBackend)  # case-folded
+        assert get_backend("statevector") is instance
 
     def test_non_callable_factory_rejected(self):
         with pytest.raises(SimulationError):
@@ -69,10 +91,9 @@ class TestRegisterBackend:
         class EchoBackend:
             name = "echo"
 
-            def run(
-                self, circuit, initial_state=None, optimize=False, passes=None,
-                noise_model=None,
-            ):
+            def run(self, circuit, initial_state=None, options=None):
+                # Protocol-minimal backend: receives the whole RunOptions.
+                assert options is not None and not options.optimize
                 return Statevector.zero_state(circuit.num_qubits)
 
         register_backend("echo", EchoBackend)

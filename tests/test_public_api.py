@@ -54,6 +54,18 @@ class TestAll:
             "get_backend",
             "register_backend",
             "available_backends",
+            # unified execution surface
+            "execute",
+            "submit",
+            "RunOptions",
+            "Job",
+            "Result",
+            "BatchResult",
+            "BaseBackend",
+            "Parameter",
+            "Pauli",
+            "PauliSum",
+            "expectation",
         ],
     )
     def test_new_entry_points_exported(self, name):
@@ -72,7 +84,75 @@ class TestAll:
         # ``repro.run`` shadows nothing but is a function too).
         import importlib
 
-        for module_name in ("repro.transpile", "repro.bench", "repro.noise", "repro.sim"):
+        for module_name in (
+            "repro.transpile",
+            "repro.bench",
+            "repro.noise",
+            "repro.sim",
+            "repro.observables",
+            "repro.execution",
+        ):
             module = importlib.import_module(module_name)
             for name in module.__all__:
                 assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+class TestExceptionHierarchy:
+    """The exported exception set IS the defined hierarchy — no dead names.
+
+    The ``CharterError`` regression this guards: an exception class kept
+    (and re-exported) long after the subsystem it belonged to vanished.
+    Enumerating both directions makes a stale export *and* an unexported
+    subsystem error fail loudly.
+    """
+
+    def _defined(self):
+        import inspect
+
+        from repro.utils import exceptions as exceptions_module
+
+        return {
+            name
+            for name, obj in vars(exceptions_module).items()
+            if inspect.isclass(obj) and issubclass(obj, exceptions_module.ReproError)
+        }
+
+    def _exported(self):
+        # Judged by what the name *is*, not what it is called: ReadoutError
+        # is a noise-model value object, not an exception.
+        import inspect
+
+        return {
+            name
+            for name in repro.__all__
+            if inspect.isclass(getattr(repro, name, None))
+            and issubclass(getattr(repro, name), Exception)
+        }
+
+    def test_exported_exceptions_equal_defined_hierarchy(self):
+        assert self._exported() == self._defined()
+
+    def test_utils_reexports_match_hierarchy(self):
+        import inspect
+
+        from repro import utils
+
+        exported = {
+            name
+            for name in utils.__all__
+            if inspect.isclass(getattr(utils, name, None))
+            and issubclass(getattr(utils, name), Exception)
+        }
+        assert exported == self._defined()
+
+    def test_every_exception_subclasses_repro_error(self):
+        from repro import ReproError
+
+        for name in self._exported():
+            exc = getattr(repro, name)
+            assert issubclass(exc, ReproError), name
+
+    def test_execution_error_present_charter_error_gone(self):
+        assert "ExecutionError" in repro.__all__
+        assert "CharterError" not in repro.__all__
+        assert not hasattr(repro, "CharterError")

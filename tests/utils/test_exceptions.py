@@ -3,8 +3,8 @@
 import pytest
 
 from repro.utils.exceptions import (
-    CharterError,
     CircuitError,
+    ExecutionError,
     NoiseModelError,
     ReproError,
     SimulationError,
@@ -16,7 +16,7 @@ SUBSYSTEM_ERRORS = [
     TranspilerError,
     SimulationError,
     NoiseModelError,
-    CharterError,
+    ExecutionError,
 ]
 
 
