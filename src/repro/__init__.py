@@ -4,13 +4,16 @@ Layering (each layer depends only on the ones above it)::
 
     repro.utils        exceptions, RNG plumbing, bitstring conventions
     repro.circuit      operation-instruction IR (Gate, Channel, Parameter,
-                       Instruction, Circuit, Circuit.bind)
+                       Instruction, Circuit, Circuit.bind/stats)
     repro.gates        registry-backed standard gate library + unitary gates
     repro.noise        Kraus channel library, readout error, NoiseModel
     repro.transpile    pass-manager optimisation (fusion, cancellation)
+    repro.plan         compiled ExecutionPlans: compile once, bind/run many,
+                       batched sweeps, process-wide plan cache
     repro.sim          backend registry: statevector + density-matrix engines
+                       executing plans through one shared loop
     repro.sampling     shot sampling -> Counts (any backend, readout noise)
-    repro.observables  Pauli / PauliSum observables, expectation values
+    repro.observables  Pauli / PauliSum observables, (batched) expectations
     repro.execution    execute() front door: RunOptions, Job, Result/BatchResult
     repro.bench        benchmark workloads + JSON-reporting harness
 
@@ -19,7 +22,7 @@ may move between PRs.
 """
 
 from repro.bench import run_suite
-from repro.circuit import Channel, Circuit, Gate, Instruction, Parameter
+from repro.circuit import Channel, Circuit, CircuitStats, Gate, Instruction, Parameter
 from repro.execution import BatchResult, Job, Result, RunOptions, execute, submit
 from repro.gates import (
     available_gates,
@@ -38,7 +41,14 @@ from repro.noise import (
     phase_damping,
     phase_flip,
 )
-from repro.observables import Pauli, PauliSum, expectation
+from repro.observables import Pauli, PauliSum, expectation, expectation_batched
+from repro.plan import (
+    ExecutionPlan,
+    clear_plan_cache,
+    compile_plan,
+    plan_cache_info,
+    run_batched_sweep,
+)
 from repro.sampling import Counts, sample_counts, sample_memory
 from repro.sim import (
     Backend,
@@ -86,13 +96,14 @@ from repro.utils import (
     spawn_seeds,
 )
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "__version__",
     # circuit IR
     "Channel",
     "Circuit",
+    "CircuitStats",
     "Gate",
     "Instruction",
     "Parameter",
@@ -137,6 +148,13 @@ __all__ = [
     "Pauli",
     "PauliSum",
     "expectation",
+    "expectation_batched",
+    # compiled plans
+    "ExecutionPlan",
+    "clear_plan_cache",
+    "compile_plan",
+    "plan_cache_info",
+    "run_batched_sweep",
     # execution
     "BatchResult",
     "Job",

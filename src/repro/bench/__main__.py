@@ -1,11 +1,13 @@
 """CLI for the benchmark suite: ``python -m repro.bench [--json] [--smoke]``.
 
-Prints a human-readable table by default, the schema-3 JSON report with
+Prints a human-readable table by default, the schema-4 JSON report with
 ``--json``; ``--sweep`` adds the batched parameter-sweep benchmark run
 through ``repro.execute``.  Exits non-zero if any workload's fused
-execution fails the seeded counts/expectation-equivalence checks, or if
-the sweep is not reproducible or transpiles more than once — CI treats
-those as correctness regressions, not slow runs.
+execution fails the seeded counts/expectation-equivalence checks, if
+run() and precompiled-plan execution diverge, or if the sweep is not
+reproducible, transpiles more than once, drifts between batched and
+per-element execution, or runs *slower* batched than per-element — CI
+treats all of those as regressions.
 """
 
 from __future__ import annotations
@@ -45,7 +47,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="Benchmark the simulation backends with and without gate fusion.",
     )
     parser.add_argument(
-        "--json", action="store_true", help="emit the schema-3 JSON report on stdout"
+        "--json", action="store_true", help="emit the schema-4 JSON report on stdout"
     )
     parser.add_argument(
         "--smoke",
@@ -103,10 +105,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_format_table(report))
         sweep = report["sweep"]
         if sweep is not None:
+            speedup = sweep["batched_speedup"]
+            speedup_cell = f"{speedup:.2f}x" if speedup is not None else "n/a"
             print(
-                f"sweep: {sweep['name']} x {sweep['points']} points in "
-                f"{sweep['run_time_s']:.2g}s ({sweep['transpile_calls']} "
-                f"transpile call), reproducible: "
+                f"sweep: {sweep['name']} x {sweep['points']} points, "
+                f"batched {sweep['run_time_batched_s']:.2g}s vs per-element "
+                f"{sweep['run_time_per_element_s']:.2g}s ({speedup_cell}, "
+                f"{sweep['transpile_calls']} transpile call), reproducible: "
                 f"{'ok' if sweep['reproducible'] else 'FAIL'}"
             )
 
@@ -126,6 +131,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         failed = True
+    diverged = [
+        w["name"] for w in report["workloads"] if not w["eager_matches_plan"]
+    ]
+    if diverged:
+        print(
+            f"run() diverges from precompiled-plan execution: "
+            f"{', '.join(diverged)}",
+            file=sys.stderr,
+        )
+        failed = True
     sweep = report["sweep"]
     if sweep is not None:
         if not sweep["reproducible"]:
@@ -135,6 +150,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(
                 f"sweep transpiled {sweep['transpile_calls']} times, "
                 "expected exactly 1",
+                file=sys.stderr,
+            )
+            failed = True
+        if not sweep["expectations_match"]:
+            print(
+                "batched sweep expectations drift from per-element execution",
+                file=sys.stderr,
+            )
+            failed = True
+        speedup = sweep["batched_speedup"]
+        if speedup is not None and speedup < 1.0:
+            print(
+                f"batched sweep is slower than per-element execution "
+                f"({speedup:.2f}x)",
                 file=sys.stderr,
             )
             failed = True

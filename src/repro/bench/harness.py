@@ -1,10 +1,10 @@
-"""The bench driver: time each workload unfused vs. transpiled.
+"""The bench driver: time each workload unfused vs. transpiled vs. planned.
 
-Report schema (``schema_version`` 3) — stable from this PR onward so CI
+Report schema (``schema_version`` 4) — stable from this PR onward so CI
 artifacts stay comparable across commits::
 
     {
-      "schema_version": 3,
+      "schema_version": 4,
       "config": {"smoke": bool, "shots": int, "seed": int,
                  "repeats": int, "max_fused_width": int,
                  "backend": str,
@@ -16,45 +16,61 @@ artifacts stay comparable across commits::
           "backend": str,              # backend the workload ran on
           "noise": str | null,         # embedded-channel and/or model
                                        # label, null when noiseless
-          "gates_unfused": int, "gates_fused": int,
-          "depth_unfused": int, "depth_fused": int,
-          "transpile_time_s": float,
-          "run_time_unfused_s": float, "run_time_fused_s": float,
+          "gates_unfused": int, "gates_fused": int,   # Circuit.stats()
+          "depth_unfused": int, "depth_fused": int,   # Circuit.stats()
+          "transpile_time_s": float,   # pass pipeline only
+          "plan_compile_ms": float,    # fused-circuit lowering only
+          "run_time_unfused_s": float, # plan execution only — compile
+          "run_time_fused_s": float,   # and transpile excluded, so the
+                                       # speedup is attributed honestly
           "speedup": float | null,     # unfused / fused wall-time; null
                                        # when the fused time measured 0
                                        # (Infinity is not valid JSON)
           "counts_match": bool,        # seeded sampling equivalence
           "expectation_z0": float,     # <Z_0> on the unfused final state
-          "expectations_match": bool   # fused <Z_0> agrees to 1e-9
+          "expectations_match": bool,  # fused <Z_0> agrees to 1e-9
+          "eager_matches_plan": bool   # run() (compile+execute) and
+                                       # precompiled-plan execution give
+                                       # bitwise-identical states
         }, ...
       ],
       "sweep": null | {                # present (non-null) with --sweep
         "name": str, "num_qubits": int, "points": int,
         "parameters": int,             # symbols bound per point
-        "transpile_calls": int,        # MUST be 1: one transpile, N binds
-        "run_time_s": float,
-        "expectations": [float, ...],  # <Z_0> per sweep point
-        "reproducible": bool           # re-run is bitwise identical
+        "transpile_calls": int,        # MUST be 1: one compile, N binds
+        "plan_compile_ms": float,      # template lowering, fresh/uncached
+        "run_time_batched_s": float,   # all points, one batched tensor
+        "run_time_per_element_s": float,  # same plan, bound per point
+        "batched_speedup": float | null,  # per-element / batched
+        "expectations": [float, ...],  # batched <Z_0> per sweep point
+        "expectations_match": bool,    # batched vs per-element to 1e-9
+        "reproducible": bool           # batched re-run is bitwise equal
       }
     }
 
 Schema history: version 1 lacked the ``backend``/``noise`` fields and
 emitted ``float("inf")`` speedups; version 2 predates the execution
-layer — no expectation columns and no ``sweep`` section.
+layer — no expectation columns and no ``sweep`` section; version 3
+predates compiled execution plans — no ``plan_compile_ms`` /
+``eager_matches_plan`` columns, a single sweep ``run_time_s``, and
+workload timings measured through ``run()`` (which now compiles), so
+compile cost leaked into the headline numbers.
 
 Counts and expectation values are produced through the unified
 :func:`repro.execute` front door, so the harness exercises exactly the
 surface users are told to call.  Wall-times are best-of-``repeats``
-``perf_counter`` measurements of the simulation alone (circuit
-construction and transpilation are timed separately), so the headline
-number isolates the amplitude-array sweeps that fusion is meant to
-reduce.
+``perf_counter`` measurements of *plan execution* alone — circuit
+construction, transpilation, and plan lowering are each timed in their
+own columns — so the headline number isolates the amplitude-array
+sweeps that fusion and batching are meant to reduce.
 """
 
 from __future__ import annotations
 
 import time
 from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.bench.workloads import (
     Workload,
@@ -65,11 +81,12 @@ from repro.bench.workloads import (
 from repro.circuit import Circuit
 from repro.execution import RunOptions, execute
 from repro.observables import Pauli
+from repro.plan import compile_plan
 from repro.sim import get_backend
 from repro.transpile import Pass, transpile
 from repro.utils.exceptions import SimulationError
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 # Mixed-state cost is O(4**n) memory *per contraction temporary*: n = 12
 # is already ~270 MB a copy (minutes of bench wall-time), n = 16 would be
@@ -119,12 +136,29 @@ def _bench_workload(
     fused = transpile(circuit, max_fused_width=max_fused_width)
     transpile_time = time.perf_counter() - start
 
+    # Lower both circuits to plans up front (uncached, so the compile
+    # column measures real lowering work) and time *plan execution* only:
+    # run() would re-resolve the cache and fold compile cost into the
+    # first repeat, mis-attributing the fusion speedup.
     run_options = RunOptions(noise_model=noise_model)
+    plan_unfused = compile_plan(circuit, backend, run_options, use_cache=False)
+    t0 = time.perf_counter()
+    plan_fused = compile_plan(fused, backend, run_options, use_cache=False)
+    plan_compile_ms = (time.perf_counter() - t0) * 1000.0
     run_unfused = _best_time(
-        lambda: backend.run(circuit, options=run_options), repeats
+        lambda: backend.execute_plan(plan_unfused), repeats
     )
     run_fused = _best_time(
-        lambda: backend.run(fused, options=run_options), repeats
+        lambda: backend.execute_plan(plan_fused), repeats
+    )
+    # The refactor's invariant, proven per workload: the thin run()
+    # wrapper (compile + execute) and direct execution of a precompiled
+    # plan are the same code path, bit for bit.
+    eager_matches_plan = bool(
+        np.array_equal(
+            backend.run(fused, options=run_options).data,
+            backend.execute_plan(plan_fused).data,
+        )
     )
 
     # Counts and expectations come through the unified front door; the
@@ -142,16 +176,19 @@ def _bench_workload(
     expectation_unfused = result_unfused.expectation_values[0]
     expectation_fused = result_fused.expectation_values[0]
 
+    stats_unfused = circuit.stats()
+    stats_fused = fused.stats()
     return {
         "name": workload.name,
         "num_qubits": workload.num_qubits,
         "backend": backend.name,
         "noise": noise_label,
-        "gates_unfused": len(circuit),
-        "gates_fused": len(fused),
-        "depth_unfused": circuit.depth(),
-        "depth_fused": fused.depth(),
+        "gates_unfused": stats_unfused.num_instructions,
+        "gates_fused": stats_fused.num_instructions,
+        "depth_unfused": stats_unfused.depth,
+        "depth_fused": stats_fused.depth,
         "transpile_time_s": transpile_time,
+        "plan_compile_ms": plan_compile_ms,
         "run_time_unfused_s": run_unfused,
         "run_time_fused_s": run_fused,
         # null, not float("inf"): json.dumps would emit the non-standard
@@ -161,52 +198,76 @@ def _bench_workload(
         "expectation_z0": expectation_unfused,
         "expectations_match": abs(expectation_unfused - expectation_fused)
         <= _EXPECTATION_ATOL,
+        "eager_matches_plan": eager_matches_plan,
     }
 
 
 def _bench_sweep(
-    smoke: bool, shots: int, seed: int, max_fused_width: int
+    smoke: bool, seed: int, max_fused_width: int, repeats: int
 ) -> Dict[str, object]:
-    """Benchmark a batched parameter sweep through ``execute()``.
+    """Benchmark the batched-sweep workload: one plan, two execution modes.
 
-    Runs the parametric rotation template over seeded sweep points with
-    an instrumented pass pipeline, so ``transpile_calls`` in the report
-    is measured, not assumed; ``reproducible`` re-runs the identical
-    sweep and compares counts and expectations bitwise.
+    The layered-rotation template sweeps the same seeded bindings twice
+    through ``execute()`` — once with ``sweep_mode="batched"`` (all
+    points as one stacked state tensor) and once with
+    ``sweep_mode="per_element"`` (the same compiled plan, bound per
+    point) — so ``batched_speedup`` compares identical arithmetic and
+    differs only in how it is dispatched.  An instrumented pass pipeline
+    makes ``transpile_calls`` a measurement, not an assumption;
+    ``reproducible`` re-runs the batched sweep and compares expectations
+    bitwise; ``plan_compile_ms`` lowers the template fresh (uncached)
+    after the counting snapshot is taken.
     """
     from repro.transpile.base import default_passes
 
     num_qubits = 4 if smoke else 8
-    points = 4 if smoke else 16
+    points = 8 if smoke else 16
     template, parameters = parameterized_rotations(num_qubits, layers=2)
     bindings = sweep_bindings(parameters, points, seed=seed)
     counting = _CountingPass()
     passes = list(default_passes(max_fused_width)) + [counting]
     observable = Pauli("Z", qubits=(0,))
 
-    def run_sweep():
+    def run_sweep(mode: str):
         return execute(
             template,
-            shots=shots,
             seed=seed,
             passes=passes,
             observables=(observable,),
             parameter_sweep=bindings,
+            sweep_mode=mode,
         )
 
-    start = time.perf_counter()
-    batch = run_sweep()
-    run_time = time.perf_counter() - start
-    # Snapshot before the reproducibility re-run: the contract is
-    # one-transpile-per-batch, so the first sweep alone must read 1.
-    # (No floor division over both runs — that would round 3 calls
-    # down to 1 and hide a regression.)
+    # Cold run first: compiles the template plan (cached for every run
+    # below) and snapshots the one-compile-per-sweep contract.  (No floor
+    # division over later runs — that would round 3 calls down to 1 and
+    # hide a regression.)
+    batch = run_sweep("batched")
     transpile_calls = counting.calls
-    repeat = run_sweep()
-    reproducible = (
-        batch.counts == repeat.counts
-        and batch.expectation_values == repeat.expectation_values
+
+    # Both timed legs are warm (plan-cache hits), so the comparison is
+    # pure execution; best-of-at-least-3 keeps the CI gate off the noise
+    # floor even in single-repeat smoke runs.
+    sweep_repeats = max(repeats, 3)
+    run_batched = _best_time(lambda: run_sweep("batched"), sweep_repeats)
+    run_per_element = _best_time(lambda: run_sweep("per_element"), sweep_repeats)
+
+    per_element = run_sweep("per_element")
+    expectations_match = all(
+        abs(a[0] - b[0]) <= _EXPECTATION_ATOL
+        for a, b in zip(batch.expectation_values, per_element.expectation_values)
     )
+    repeat = run_sweep("batched")
+    reproducible = batch.expectation_values == repeat.expectation_values
+
+    # Fresh, uncached lowering of the template — measured after the
+    # counting snapshot so the extra pipeline run cannot pollute it.
+    backend = get_backend(None)
+    t0 = time.perf_counter()
+    plan = compile_plan(
+        template, backend, RunOptions(passes=passes), use_cache=False
+    )
+    compile_ms = (time.perf_counter() - t0 - plan.transpile_time_s) * 1000.0
 
     return {
         "name": template.name,
@@ -214,8 +275,16 @@ def _bench_sweep(
         "points": points,
         "parameters": len(parameters),
         "transpile_calls": transpile_calls,
-        "run_time_s": run_time,
+        "plan_compile_ms": compile_ms,
+        "run_time_batched_s": run_batched,
+        "run_time_per_element_s": run_per_element,
+        # null, not Infinity, when the batched leg measured 0 (see the
+        # workload speedup column).
+        "batched_speedup": (
+            run_per_element / run_batched if run_batched > 0 else None
+        ),
         "expectations": [values[0] for values in batch.expectation_values],
+        "expectations_match": bool(expectations_match),
         "reproducible": bool(reproducible),
     }
 
@@ -231,7 +300,7 @@ def run_suite(
     noise_model=None,
     sweep: bool = False,
 ) -> Dict[str, object]:
-    """Run the benchmark suite and return the schema-3 report dict.
+    """Run the benchmark suite and return the schema-4 report dict.
 
     Parameters
     ----------
@@ -341,6 +410,6 @@ def run_suite(
         },
         "workloads": results,
         "sweep": (
-            _bench_sweep(smoke, shots, seed, max_fused_width) if sweep else None
+            _bench_sweep(smoke, seed, max_fused_width, repeats) if sweep else None
         ),
     }

@@ -13,6 +13,14 @@ from repro.circuit.channel import Channel
 from repro.circuit.gate import Gate
 from repro.circuit.instruction import Instruction, Operation
 from repro.circuit.parameter import Parameter
-from repro.circuit.circuit import Circuit
+from repro.circuit.circuit import Circuit, CircuitStats
 
-__all__ = ["Channel", "Circuit", "Gate", "Instruction", "Operation", "Parameter"]
+__all__ = [
+    "Channel",
+    "Circuit",
+    "CircuitStats",
+    "Gate",
+    "Instruction",
+    "Operation",
+    "Parameter",
+]

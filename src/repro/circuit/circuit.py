@@ -24,6 +24,93 @@ from repro.utils.exceptions import CircuitError
 ParameterBinding = Mapping[Union[Parameter, str], float]
 
 
+class CircuitStats:
+    """A structural snapshot of one circuit: sizes, depth, composition.
+
+    Computed by :meth:`Circuit.stats` in a single pass over the
+    instruction list (plus the depth scan).  The snapshot is immutable and
+    hashable via :meth:`key`, so it can serve as a component of cache keys
+    (see ``repro.plan``) and as a JSON-friendly report row via
+    :meth:`as_dict` — consumers should reach for it instead of ad-hoc
+    ``len(circuit.instructions)`` counting.
+    """
+
+    __slots__ = (
+        "num_qubits",
+        "num_instructions",
+        "depth",
+        "gate_counts",
+        "num_parametric",
+        "num_parameters",
+        "num_channels",
+    )
+
+    def __init__(
+        self,
+        num_qubits: int,
+        num_instructions: int,
+        depth: int,
+        gate_counts: Mapping[str, int],
+        num_parametric: int,
+        num_parameters: int,
+        num_channels: int,
+    ) -> None:
+        from types import MappingProxyType
+
+        object.__setattr__(self, "num_qubits", int(num_qubits))
+        object.__setattr__(self, "num_instructions", int(num_instructions))
+        object.__setattr__(self, "depth", int(depth))
+        # Read-only view over a private copy: the snapshot feeds hashes
+        # and cache keys, so mutating it through the attribute must fail,
+        # not silently change key()/hash() after insertion.
+        object.__setattr__(self, "gate_counts", MappingProxyType(dict(gate_counts)))
+        object.__setattr__(self, "num_parametric", int(num_parametric))
+        object.__setattr__(self, "num_parameters", int(num_parameters))
+        object.__setattr__(self, "num_channels", int(num_channels))
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("CircuitStats is immutable")
+
+    def key(self) -> tuple:
+        """A hashable tuple identifying this structural snapshot."""
+        return (
+            self.num_qubits,
+            self.num_instructions,
+            self.depth,
+            tuple(sorted(self.gate_counts.items())),
+            self.num_parametric,
+            self.num_parameters,
+            self.num_channels,
+        )
+
+    def as_dict(self) -> dict:
+        """A JSON-serialisable view (gate_counts copied, not aliased)."""
+        return {
+            "num_qubits": self.num_qubits,
+            "num_instructions": self.num_instructions,
+            "depth": self.depth,
+            "gate_counts": dict(self.gate_counts),
+            "num_parametric": self.num_parametric,
+            "num_parameters": self.num_parameters,
+            "num_channels": self.num_channels,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CircuitStats):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitStats({self.num_qubits} qubits, "
+            f"{self.num_instructions} instructions, depth {self.depth}, "
+            f"{self.num_parametric} parametric, {self.num_channels} channels)"
+        )
+
+
 class Circuit:
     """An ordered gate-instruction list over a fixed-width qubit register."""
 
@@ -180,6 +267,36 @@ class Circuit:
         """Whether any instruction is a :class:`Channel` application."""
         return any(instruction.is_channel for instruction in self._instructions)
 
+    def stats(self) -> CircuitStats:
+        """One-pass structural snapshot: counts, depth, composition.
+
+        ``num_parametric`` counts parametric *slots* (instructions whose
+        gate still carries unbound parameters); ``num_parameters`` counts
+        the distinct :class:`Parameter` symbols among them.
+        """
+        gate_counts: Dict[str, int] = {}
+        num_parametric = 0
+        num_channels = 0
+        symbols: Dict[Parameter, None] = {}
+        for instruction in self._instructions:
+            name = instruction.operation.name
+            gate_counts[name] = gate_counts.get(name, 0) + 1
+            if instruction.is_channel:
+                num_channels += 1
+            elif instruction.is_parametric:
+                num_parametric += 1
+                for parameter in instruction.operation.parameters:
+                    symbols.setdefault(parameter, None)
+        return CircuitStats(
+            num_qubits=self._num_qubits,
+            num_instructions=len(self._instructions),
+            depth=self.depth(),
+            gate_counts=gate_counts,
+            num_parametric=num_parametric,
+            num_parameters=len(symbols),
+            num_channels=num_channels,
+        )
+
     def parameters(self) -> Tuple[Parameter, ...]:
         """Distinct unbound :class:`Parameter` symbols, in first-use order."""
         seen: Dict[Parameter, None] = {}
@@ -209,23 +326,15 @@ class Circuit:
         ``(name, values)`` combination shares the registry's cached
         matrix; non-parametric instructions are carried over untouched.
         """
+        from repro.circuit.parameter import normalize_binding, validate_binding_names
         from repro.gates import get_gate
 
-        values: Dict[str, float] = {}
-        for key, value in binding.items():
-            name = key.name if isinstance(key, Parameter) else str(key)
-            if name in values and values[name] != float(value):
-                raise CircuitError(
-                    f"conflicting values for parameter {name!r} in binding"
-                )
-            values[name] = float(value)
-        known = {parameter.name for parameter in self.parameters()}
-        stray = sorted(set(values) - known)
-        if stray:
-            raise CircuitError(
-                f"binding refers to unknown parameter(s) {stray}; "
-                f"circuit parameters: {sorted(known)}"
-            )
+        values = normalize_binding(binding, CircuitError)
+        validate_binding_names(
+            values,
+            (parameter.name for parameter in self.parameters()),
+            CircuitError,
+        )
         out = Circuit(self._num_qubits, self._name)
         for instruction in self._instructions:
             operation = instruction.operation

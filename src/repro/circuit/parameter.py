@@ -48,3 +48,56 @@ class Parameter:
 
     def __repr__(self) -> str:
         return f"Parameter({self._name!r})"
+
+
+def normalize_binding(binding, error_cls=CircuitError, label="binding"):
+    """Resolve a ``{Parameter | str: value}`` mapping to ``{name: float}``.
+
+    The one canonical implementation of binding-key normalization —
+    :meth:`Circuit.bind`, ``ExecutionPlan.bind``, the execute() sweep
+    normaliser, and the batched executor all call it, so conflict
+    detection behaves identically at every layer.  ``error_cls`` selects
+    the layer's exception type; ``label`` prefixes messages (e.g.
+    ``"sweep point 3"``).
+    """
+    values = {}
+    for key, value in binding.items():
+        name = key.name if isinstance(key, Parameter) else str(key)
+        value = float(value)
+        if name in values and values[name] != value:
+            raise error_cls(
+                f"{label} has conflicting values for parameter {name!r}"
+            )
+        values[name] = value
+    return values
+
+
+def validate_binding_names(
+    values,
+    known,
+    error_cls=CircuitError,
+    label="binding",
+    subject="circuit",
+    require_complete=False,
+):
+    """Reject stray (and, optionally, missing) names in a normalized binding.
+
+    ``known`` is the set of parameter names the ``subject`` (circuit,
+    plan...) actually declares.  A stray key is always an error — it
+    almost certainly means a typo in a sweep specification; with
+    ``require_complete`` every known name must also be bound.
+    """
+    known = set(known)
+    stray = sorted(set(values) - known)
+    if stray:
+        raise error_cls(
+            f"{label} refers to unknown parameter(s) {stray}; "
+            f"{subject} parameters: {sorted(known)}"
+        )
+    if require_complete:
+        missing = sorted(known - set(values))
+        if missing:
+            raise error_cls(
+                f"{label} leaves {subject} parameter(s) {missing} unbound"
+            )
+    return values

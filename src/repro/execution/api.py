@@ -11,15 +11,21 @@ Batching semantics worth knowing:
   ``derive_seed(options.seed, i)``, so results are bitwise-reproducible
   across repeated calls and independent of batch composition.  Element 0
   matches ``sample_counts(circuit, shots, seed=seed)`` exactly.
-* **Parameter sweeps** — a sweep transpiles the *parametric template
-  once* (parametric gates act as pass barriers) and then binds each
-  point, so an N-point sweep costs one transpile plus N simulations.
+* **Parameter sweeps** — a sweep compiles the *parametric template once*
+  into an :class:`~repro.plan.ExecutionPlan` (one transpile + one
+  lowering, reused through the plan cache).  Statevector sweeps with no
+  shots or noise then evolve **batched**: all N bindings stack into one
+  ``(N, 2, ..., 2)`` state tensor and every op applies to the whole
+  batch in a single contraction (see :func:`repro.plan.run_batched_sweep`).
+  Sweeps that sample or carry noise fall back to per-element plan
+  execution — still never re-transpiling or re-lowering.  The
+  ``sweep_mode`` option pins either path explicitly.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.circuit import Circuit, Parameter
 from repro.execution.job import BatchResult, Job, Result
@@ -39,6 +45,8 @@ Sweep = Sequence[Mapping[Union[Parameter, str], float]]
 
 
 def _normalise_sweep(parameter_sweep: Sweep, circuit: Circuit) -> List[Dict[str, float]]:
+    from repro.circuit.parameter import normalize_binding, validate_binding_names
+
     names = {p.name for p in circuit.parameters()}
     if not names:
         raise ExecutionError(
@@ -51,20 +59,19 @@ def _normalise_sweep(parameter_sweep: Sweep, circuit: Circuit) -> List[Dict[str,
                 f"sweep point {index} must be a mapping of parameters to "
                 f"values, got {type(binding).__name__}"
             )
-        point: Dict[str, float] = {}
-        for key, value in binding.items():
-            name = key.name if isinstance(key, Parameter) else str(key)
-            if name in point and point[name] != float(value):
-                raise ExecutionError(
-                    f"sweep point {index} has conflicting values for "
-                    f"parameter {name!r}"
-                )
-            point[name] = float(value)
-        missing = sorted(names - set(point))
-        if missing:
-            raise ExecutionError(
-                f"sweep point {index} leaves parameter(s) {missing} unbound"
-            )
+        # Strays and gaps are both rejected up front — every execution
+        # mode downstream (batched, per-element, legacy backend) then
+        # sees the same fully-validated points.
+        point = normalize_binding(
+            binding, ExecutionError, label=f"sweep point {index}"
+        )
+        validate_binding_names(
+            point,
+            names,
+            ExecutionError,
+            label=f"sweep point {index}",
+            require_complete=True,
+        )
         points.append(point)
     if not points:
         raise ExecutionError("parameter_sweep must contain at least one point")
@@ -86,6 +93,174 @@ def _sample(state, options: RunOptions, seed: Optional[int]):
     return counts_from_probabilities(probs, options.shots, rng, state.num_qubits), None
 
 
+def _compile_timed(circuit: Circuit, backend, options: RunOptions):
+    """Compile via the plan cache, attributing only THIS call's work.
+
+    Returns ``(plan, compile_time_s, transpile_time_s)`` where both
+    timings describe the current call: a cache hit costs only the lookup
+    and contributes zero transpile time, instead of echoing the original
+    compile's wall times (which could exceed this call's own total).
+    Hit detection reads the cache's miss counter around the compile —
+    sound here because compilation is synchronous and single-threaded.
+    """
+    from repro.plan import compile_plan, plan_cache_info
+
+    misses_before = plan_cache_info()["misses"]
+    t0 = time.perf_counter()
+    plan = compile_plan(circuit, backend, options)
+    compile_time = time.perf_counter() - t0
+    compiled_now = plan_cache_info()["misses"] > misses_before
+    return plan, compile_time, (plan.transpile_time_s if compiled_now else 0.0)
+
+
+def _sweep_is_batchable(backend, options: RunOptions) -> bool:
+    """Whether a sweep can stack into one batched state evolution.
+
+    Batched evolution is pure-state arithmetic with no per-element
+    randomness, so it requires the statevector lowering and no
+    shots/memory/noise; everything else falls back to per-element plan
+    execution (same compiled plan, bound per point).
+    """
+    return (
+        getattr(backend, "plan_mode", None) == "statevector"
+        and options.shots == 0
+        and not options.memory
+        and options.noise_model is None
+    )
+
+
+def _run_sweep(
+    template: Circuit,
+    backend,
+    options: RunOptions,
+    bindings: List[Dict[str, float]],
+    start: float,
+) -> BatchResult:
+    """Execute a parameter sweep off one compiled template.
+
+    On a plan-capable backend (one declaring ``plan_mode``) the template
+    compiles exactly once (transpile + lowering, via the plan cache);
+    bindings then either evolve together as a single ``(N, 2, ..., 2)``
+    batch (one contraction per op) or bind the plan per element — never
+    re-lowering either way.  A backend satisfying only the
+    :class:`~repro.sim.Backend` protocol still sweeps: one transpile of
+    the template, then ``bind() + run()`` per point.
+    """
+    plan_capable = getattr(backend, "plan_mode", None) is not None
+    batchable = plan_capable and _sweep_is_batchable(backend, options)
+    if options.sweep_mode == "batched" and not batchable:
+        raise ExecutionError(
+            "sweep_mode='batched' requires a plan-capable statevector "
+            "backend with shots=0, memory=False and no noise model; use "
+            "'auto' to fall back to per-element execution"
+        )
+    use_batched = batchable and options.sweep_mode != "per_element"
+
+    plan = None
+    if plan_capable:
+        plan, compile_time, transpile_time = _compile_timed(
+            template, backend, options
+        )
+        bound_template = plan.circuit
+
+        def run_point(point: Dict[str, float]):
+            return backend.execute_plan(plan.bind(point))
+
+    else:
+        compile_time = 0.0
+        transpile_time = 0.0
+        bound_template = template
+        if options.optimize or options.passes is not None:
+            from repro.transpile import transpile
+
+            t0 = time.perf_counter()
+            bound_template = transpile(template, passes=options.passes)
+            transpile_time = time.perf_counter() - t0
+        element_options = options.replace(optimize=False, passes=None)
+
+        def run_point(point: Dict[str, float]):
+            return backend.run(bound_template.bind(point), options=element_options)
+
+    results: List[Result] = []
+    if use_batched:
+        from repro.observables import expectation_batched
+        from repro.plan import run_batched_sweep
+
+        t0 = time.perf_counter()
+        batch_states = run_batched_sweep(plan, bindings)
+        run_time = time.perf_counter() - t0
+        per_observable = [
+            expectation_batched(batch_states, observable)
+            for observable in options.observables
+        ]
+        element_time = run_time / len(bindings)
+        for index, point in enumerate(bindings):
+            state = backend._finalize(batch_states[index], plan.num_qubits)
+            values = tuple(values[index] for values in per_observable)
+            results.append(
+                Result(
+                    # Deferred: Result.circuit resolves the bound circuit
+                    # on first access, so an N-point sweep does not pay N
+                    # full template re-binds just to fill a field most
+                    # consumers never read.
+                    lambda point=point: bound_template.bind(point),
+                    state,
+                    observables=options.observables,
+                    expectation_values=values,
+                    parameters=point,
+                    metadata={
+                        "backend": backend.name,
+                        "seed": derive_seed(options.seed, index),
+                        "run_time_s": element_time,
+                        "sample_time_s": 0.0,
+                    },
+                )
+            )
+    else:
+        for index, point in enumerate(bindings):
+            element_seed = derive_seed(options.seed, index)
+            t0 = time.perf_counter()
+            state = run_point(point)
+            run_time = time.perf_counter() - t0
+            counts = memory = None
+            sample_time = 0.0
+            if options.shots:
+                t0 = time.perf_counter()
+                counts, memory = _sample(state, options, element_seed)
+                sample_time = time.perf_counter() - t0
+            values = tuple(
+                expectation(state, observable)
+                for observable in options.observables
+            )
+            results.append(
+                Result(
+                    lambda point=point: bound_template.bind(point),
+                    state,
+                    counts=counts,
+                    memory=memory,
+                    observables=options.observables,
+                    expectation_values=values,
+                    parameters=point,
+                    metadata={
+                        "backend": backend.name,
+                        "seed": element_seed,
+                        "run_time_s": run_time,
+                        "sample_time_s": sample_time,
+                    },
+                )
+            )
+    return BatchResult(
+        results,
+        metadata={
+            "backend": backend.name,
+            "sweep_mode": "batched" if use_batched else "per_element",
+            "transpile_time_s": transpile_time,
+            "plan_compile_time_s": compile_time,
+            "total_time_s": time.perf_counter() - start,
+        },
+    )
+
+
 def _run_batch(
     circuits: List[Circuit],
     options: RunOptions,
@@ -95,26 +270,24 @@ def _run_batch(
     start = time.perf_counter()
     backend = get_backend(options.backend)
 
+    if bindings is not None:
+        return _run_sweep(circuits[0], backend, options, bindings, start)
+
+    plan_capable = getattr(backend, "plan_mode", None) is not None
     transpile_time = 0.0
-    if options.optimize or options.passes is not None:
+    compile_time = 0.0
+    if not plan_capable and (options.optimize or options.passes is not None):
+        # Protocol-only backends know nothing of plans: transpile here,
+        # then hand them pre-optimised circuits with optimisation off.
         from repro.transpile import transpile
 
         t0 = time.perf_counter()
         circuits = [transpile(c, passes=options.passes) for c in circuits]
         transpile_time = time.perf_counter() - t0
-    # The backend must not transpile again (a sweep binds N circuits off
-    # one already-transpiled template).
     element_options = options.replace(optimize=False, passes=None)
 
-    if bindings is not None:
-        elements: List[Tuple[Circuit, Optional[Dict[str, float]]]] = [
-            (circuits[0].bind(point), point) for point in bindings
-        ]
-    else:
-        elements = [(circuit, None) for circuit in circuits]
-
     results: List[Result] = []
-    for index, (circuit, point) in enumerate(elements):
+    for index, circuit in enumerate(circuits):
         unbound = circuit.parameters()
         if unbound:
             raise ExecutionError(
@@ -123,9 +296,24 @@ def _run_batch(
                 "parameter_sweep="
             )
         element_seed = derive_seed(options.seed, index)
-        t0 = time.perf_counter()
-        state = backend.run(circuit, options=element_options)
-        run_time = time.perf_counter() - t0
+        if plan_capable:
+            # Compile (through the plan cache) with the *full* options, so
+            # transpile + lowering amortise together across repeated
+            # execute() calls.
+            plan, element_compile, element_transpile = _compile_timed(
+                circuit, backend, options
+            )
+            compile_time += element_compile
+            transpile_time += element_transpile
+            result_circuit = plan.circuit
+            t0 = time.perf_counter()
+            state = backend.execute_plan(plan)
+            run_time = time.perf_counter() - t0
+        else:
+            result_circuit = circuit
+            t0 = time.perf_counter()
+            state = backend.run(circuit, options=element_options)
+            run_time = time.perf_counter() - t0
         counts = memory = None
         sample_time = 0.0
         if options.shots:
@@ -137,13 +325,13 @@ def _run_batch(
         )
         results.append(
             Result(
-                circuit,
+                result_circuit,
                 state,
                 counts=counts,
                 memory=memory,
                 observables=options.observables,
                 expectation_values=values,
-                parameters=point,
+                parameters=None,
                 metadata={
                     "backend": backend.name,
                     "seed": element_seed,
@@ -159,6 +347,7 @@ def _run_batch(
         metadata={
             "backend": backend.name,
             "transpile_time_s": transpile_time,
+            "plan_compile_time_s": compile_time,
             "total_time_s": time.perf_counter() - start,
         },
     )

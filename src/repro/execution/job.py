@@ -61,7 +61,17 @@ class Result:
 
     @property
     def circuit(self):
-        """The circuit that actually ran (transpiled and bound)."""
+        """The circuit that actually ran (transpiled and bound).
+
+        Sweep results defer this: the execution layer hands in a zero-arg
+        factory instead of a prebuilt circuit (binding N templates up
+        front would cost O(points x gates) for a field most consumers
+        never read), and the first access resolves and caches it.
+        Circuits are not callable, so the check below cannot misfire on
+        an eagerly-supplied circuit.
+        """
+        if callable(self._circuit):
+            self._circuit = self._circuit()
         return self._circuit
 
     @property

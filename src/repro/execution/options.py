@@ -64,6 +64,15 @@ class RunOptions:
         Also record the per-shot outcome list (requires ``shots > 0``);
         counts are then tallied from the same draw, so the two always
         agree.
+    sweep_mode:
+        How ``execute`` evolves a ``parameter_sweep``: ``"auto"``
+        (default) batches all bindings into one stacked state tensor
+        whenever the sweep is batchable (statevector backend, no shots,
+        no noise) and falls back to per-element plan execution otherwise;
+        ``"batched"`` demands the batched path (raising when the sweep
+        is not batchable); ``"per_element"`` forces one execution per
+        binding.  Either way the parametric template compiles exactly
+        once.
     """
 
     backend: Any = None
@@ -74,6 +83,7 @@ class RunOptions:
     noise_model: Any = None
     observables: Tuple[Any, ...] = field(default=())
     memory: bool = False
+    sweep_mode: str = "auto"
 
     def __post_init__(self) -> None:
         shots = _as_int(self.shots)
@@ -102,6 +112,11 @@ class RunOptions:
         object.__setattr__(self, "observables", tuple(observables))
         object.__setattr__(self, "optimize", bool(self.optimize))
         object.__setattr__(self, "memory", bool(self.memory))
+        if self.sweep_mode not in ("auto", "batched", "per_element"):
+            raise ExecutionError(
+                f"sweep_mode must be 'auto', 'batched', or 'per_element', "
+                f"got {self.sweep_mode!r}"
+            )
 
     def replace(self, **changes: Any) -> "RunOptions":
         """A copy with ``changes`` applied (re-validated)."""

@@ -6,7 +6,13 @@ The physically central query "what is ``<O>`` in this state?" lives here:
 tensordot contraction — never through a dense ``2**n x 2**n`` matrix.
 """
 
-from repro.observables.expectation import expectation
+from repro.observables.expectation import expectation, expectation_batched
 from repro.observables.pauli import PAULI_MATRICES, Pauli, PauliSum
 
-__all__ = ["PAULI_MATRICES", "Pauli", "PauliSum", "expectation"]
+__all__ = [
+    "PAULI_MATRICES",
+    "Pauli",
+    "PauliSum",
+    "expectation",
+    "expectation_batched",
+]

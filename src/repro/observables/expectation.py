@@ -53,6 +53,75 @@ def _pauli_expectation(state: State, pauli: Pauli) -> float:
     return float(value.real)
 
 
+def _check_batch_width(num_qubits: int, pauli: Pauli) -> None:
+    if pauli.min_width > num_qubits:
+        raise ExecutionError(
+            f"observable acts on qubit {pauli.min_width - 1}, but the batch "
+            f"states have only {num_qubits} qubit(s)"
+        )
+
+
+def _pauli_expectation_batched(states: np.ndarray, pauli: Pauli) -> np.ndarray:
+    num_qubits = states.ndim - 1
+    _check_batch_width(num_qubits, pauli)
+    applied = states
+    for qubit, factor in pauli.factors:
+        # Contract the 2x2 factor onto the (shifted) qubit axis of every
+        # batch element at once; axis 0 stays the batch axis throughout.
+        tensor = np.asarray(PAULI_MATRICES[factor], dtype=states.dtype)
+        applied = np.moveaxis(
+            np.tensordot(tensor, applied, axes=((1,), (qubit + 1,))),
+            0,
+            qubit + 1,
+        )
+    points = states.shape[0]
+    values = np.einsum(
+        "ni,ni->n", states.conj().reshape(points, -1), applied.reshape(points, -1)
+    )
+    return values.real.astype(np.float64)
+
+
+def expectation_batched(states: np.ndarray, observable: Observable) -> np.ndarray:
+    """Per-element ``<O>`` over a batch of pure states, in one contraction.
+
+    Parameters
+    ----------
+    states:
+        An ``(N,) + (2,) * n`` array of statevector tensors — axis 0 is
+        the batch (sweep-point) axis, exactly the layout produced by
+        :func:`repro.plan.run_batched_sweep`.
+    observable:
+        A :class:`Pauli` string or real-weighted :class:`PauliSum`.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``N`` real expectation values, one per batch element, each equal
+        (to floating point) to ``expectation(Statevector(states[i]), observable)``.
+    """
+    states = np.asarray(states)
+    if states.ndim < 2 or any(d != 2 for d in states.shape[1:]):
+        raise ExecutionError(
+            f"expected an (N, 2, ..., 2) batch of state tensors, got "
+            f"shape {states.shape}"
+        )
+    if not np.iscomplexobj(states):
+        # Promote real batches up front: casting Pauli factors *down* to a
+        # real dtype would silently zero Y's purely imaginary entries.
+        states = states.astype(np.complex128)
+    if isinstance(observable, Pauli):
+        return _pauli_expectation_batched(states, observable)
+    if isinstance(observable, PauliSum):
+        total = np.zeros(states.shape[0], dtype=np.float64)
+        for coefficient, pauli in observable.terms:
+            total += coefficient * _pauli_expectation_batched(states, pauli)
+        return total
+    raise ExecutionError(
+        f"cannot interpret {type(observable).__name__} as an observable; "
+        "expected a Pauli or PauliSum"
+    )
+
+
 def expectation(state: State, observable: Observable) -> float:
     """``<O>`` of ``observable`` in ``state``.
 

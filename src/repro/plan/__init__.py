@@ -1,0 +1,42 @@
+"""Compiled execution plans: lower once, run many.
+
+:func:`compile_plan` lowers a (possibly parametric) circuit into an
+:class:`ExecutionPlan` — a flat sequence of precomputed ops (gate tensors
+reshaped for ``tensordot`` with contraction axes resolved, Kraus groups,
+noise-model rules matched per instruction, parametric slots that
+:meth:`~ExecutionPlan.bind` resolves without re-lowering).  Backends
+execute plans through one shared tight loop
+(:meth:`~repro.sim.BaseBackend.execute_plan`);
+:func:`run_batched_sweep` evolves all N bindings of a statevector sweep
+as a single batch-axis tensor, one contraction per op.
+
+Plans are cached process-wide (:mod:`repro.plan.cache`) so repeated
+execution of the same circuit under the same options skips compilation.
+"""
+
+from repro.plan.plan import (
+    DensityKrausOp,
+    DensityUnitaryOp,
+    ExecutionPlan,
+    ParametricSlotOp,
+    UnitaryOp,
+    add_lower_hook,
+    compile_plan,
+    remove_lower_hook,
+)
+from repro.plan.batch import run_batched_sweep
+from repro.plan.cache import clear_plan_cache, plan_cache_info
+
+__all__ = [
+    "DensityKrausOp",
+    "DensityUnitaryOp",
+    "ExecutionPlan",
+    "ParametricSlotOp",
+    "UnitaryOp",
+    "add_lower_hook",
+    "clear_plan_cache",
+    "compile_plan",
+    "plan_cache_info",
+    "remove_lower_hook",
+    "run_batched_sweep",
+]

@@ -1,0 +1,133 @@
+"""The process-wide :class:`~repro.plan.ExecutionPlan` cache.
+
+``execute()`` and ``Backend.run()`` both compile through here, so running
+the same circuit twice — or sweeping a parametric template whose plan was
+compiled last call — skips transpilation and lowering entirely.
+
+Keying: a plan is identified by the *content* of the circuit (its
+instruction tuple compares gates by name/params/matrix, so two separately
+built but identical circuits share a plan), the structural
+:meth:`~repro.circuit.Circuit.stats` key as a cheap discriminator, the
+backend's name/mode/dtype, and the compile-relevant options (``optimize``,
+the identity of each ``passes`` entry, the identity + rule count of the
+``noise_model``).  Entries hold strong references to the pass and noise
+objects whose ``id()`` appears in the key, so a key can never collide with
+a dead object's recycled id.  Pass objects are assumed to honour the
+:class:`~repro.transpile.Pass` purity contract (same pass, same rewrite);
+noise-model rule *additions* change the rule count and miss naturally.
+
+The cache is LRU-bounded and instrumented: :func:`plan_cache_info`
+exposes hits/misses/size for tests, benchmarks, and capacity planning.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+_MAXSIZE = 64
+
+_CACHE: "OrderedDict[tuple, _Entry]" = OrderedDict()
+_HITS = 0
+_MISSES = 0
+
+
+class _Entry:
+    """A cached plan plus strong refs pinning the ids used in its key."""
+
+    __slots__ = ("plan", "noise_model", "passes")
+
+    def __init__(self, plan, noise_model, passes) -> None:
+        self.plan = plan
+        self.noise_model = noise_model
+        # Pin the pass *elements*, not just their container: replacing an
+        # element of a caller-held list in place would otherwise free the
+        # old pass, whose recycled id could collide with a new pass and
+        # produce a stale hit.  For a PassManager the snapshot pins its
+        # current pipeline the same way.
+        if passes is None:
+            self.passes = None
+        elif isinstance(passes, (list, tuple)):
+            self.passes = (passes, tuple(passes))
+        else:
+            self.passes = (passes, tuple(getattr(passes, "passes", ())))
+
+
+def _passes_key(passes) -> Optional[tuple]:
+    if passes is None:
+        return None
+    if isinstance(passes, (list, tuple)):
+        return tuple(id(p) for p in passes)
+    # A PassManager (or anything else pipeline-shaped): key on the object
+    # AND its current pass composition — PassManager.append() is public,
+    # so id() alone would hand back a stale plan after a mutation.
+    contained = getattr(passes, "passes", ())
+    try:
+        composition = tuple(id(p) for p in contained)
+    except TypeError:
+        composition = ()
+    return (id(passes),) + composition
+
+
+def _noise_key(noise_model) -> Optional[tuple]:
+    if noise_model is None:
+        return None
+    return (
+        id(noise_model),
+        len(getattr(noise_model, "_rules", ())),
+        id(getattr(noise_model, "_readout", None)),
+    )
+
+
+def _key(circuit, backend_name: str, mode: str, dtype, options) -> tuple:
+    return (
+        backend_name,
+        mode,
+        str(dtype),
+        circuit.num_qubits,
+        circuit.stats().key(),
+        circuit.instructions,
+        bool(options.optimize),
+        _passes_key(options.passes),
+        _noise_key(options.noise_model),
+    )
+
+
+def cache_get(circuit, backend_name, mode, dtype, options):
+    """The cached plan for this compilation, or ``None`` (counted either way)."""
+    global _HITS, _MISSES
+    key = _key(circuit, backend_name, mode, dtype, options)
+    entry = _CACHE.get(key)
+    if entry is None:
+        _MISSES += 1
+        return None
+    _CACHE.move_to_end(key)
+    _HITS += 1
+    return entry.plan
+
+
+def cache_put(circuit, backend_name, mode, dtype, options, plan) -> None:
+    """Insert ``plan``, evicting the least recently used entry when full."""
+    key = _key(circuit, backend_name, mode, dtype, options)
+    _CACHE[key] = _Entry(plan, options.noise_model, options.passes)
+    _CACHE.move_to_end(key)
+    while len(_CACHE) > _MAXSIZE:
+        _CACHE.popitem(last=False)
+
+
+def plan_cache_info() -> Dict[str, int]:
+    """Cache counters: ``{"hits", "misses", "size", "maxsize"}``."""
+    return {
+        "hits": _HITS,
+        "misses": _MISSES,
+        "size": len(_CACHE),
+        "maxsize": _MAXSIZE,
+    }
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and reset the hit/miss counters."""
+    global _HITS, _MISSES
+    _CACHE.clear()
+    _HITS = 0
+    _MISSES = 0

@@ -1,10 +1,14 @@
 """Vectorised statevector execution of circuit IR.
 
-The hot path is :func:`apply_gate_tensor`: the state lives as a ``(2,) * n``
-tensor (axis ``q`` = qubit ``q``), and a ``k``-qubit gate is contracted onto
-its target axes with :func:`numpy.tensordot` — an O(2**n * 2**k) operation —
-instead of being embedded into a dense ``2**n x 2**n`` operator, which would
-cost O(4**n) memory and time.
+The state lives as a ``(2,) * n`` tensor (axis ``q`` = qubit ``q``) and a
+``k``-qubit gate is contracted onto its target axes with
+:func:`numpy.tensordot` — an O(2**n * 2**k) operation — instead of being
+embedded into a dense ``2**n x 2**n`` operator, which would cost O(4**n)
+memory and time.  :func:`apply_gate_tensor` is that contraction for a
+single ad-hoc application (observables and state queries use it);
+circuit evolution itself goes through a compiled
+:class:`~repro.plan.ExecutionPlan`, whose ops precompute the same
+reshape/axis bookkeeping once per circuit instead of once per call.
 """
 
 from __future__ import annotations
@@ -13,7 +17,6 @@ from typing import Sequence, Union
 
 import numpy as np
 
-from repro.circuit import Circuit
 from repro.sim.registry import BaseBackend, register_backend
 from repro.sim.statevector import Statevector
 from repro.utils.exceptions import SimulationError
@@ -40,10 +43,14 @@ def apply_gate_tensor(
 class StatevectorBackend(BaseBackend):
     """Executes :class:`~repro.circuit.Circuit` IR on a dense statevector.
 
-    ``run()`` comes from :class:`~repro.sim.registry.BaseBackend` — this
-    class only supplies the pure-state execution kernel and its noise
-    policy: a :class:`~repro.noise.NoiseModel` with gate-noise rules is
-    rejected (a pure state cannot represent Kraus mixing — use the
+    ``run()`` and the evolution loop come from
+    :class:`~repro.sim.registry.BaseBackend` — every circuit lowers to a
+    ``"statevector"``-mode :class:`~repro.plan.ExecutionPlan` (channel
+    instructions are rejected at compile time) and executes through the
+    shared ``execute_plan`` loop.  This class supplies only the
+    pure-state representation hooks and the noise policy: a
+    :class:`~repro.noise.NoiseModel` with gate-noise rules is rejected
+    (a pure state cannot represent Kraus mixing — use the
     ``density_matrix`` backend), while a readout-error-only model is
     accepted and applied by the sampling layer, not here.
 
@@ -55,6 +62,7 @@ class StatevectorBackend(BaseBackend):
     """
 
     name = "statevector"
+    plan_mode = "statevector"
 
     def __init__(self, dtype: np.dtype = np.complex128) -> None:
         dtype = np.dtype(dtype)
@@ -73,57 +81,42 @@ class StatevectorBackend(BaseBackend):
                 "use backend='density_matrix'"
             )
 
-    def _execute(
-        self,
-        circuit: Circuit,
-        initial_state: Union[None, str, Statevector],
-        options,
-    ) -> Statevector:
-        """Sweep the ``(2,) * n`` amplitude tensor through the circuit.
+    def _initial_tensor(
+        self, num_qubits: int, initial_state: Union[None, str, Statevector]
+    ) -> np.ndarray:
+        """The starting ``(2,) * n`` amplitude tensor.
 
         ``initial_state`` may be ``None`` (``|0...0>``), a bitstring, or
         an existing :class:`Statevector` of matching width.
         """
-        # Refuse channel circuits before allocating or sweeping the state:
-        # the error is knowable in O(gates), not after seconds of tensordot.
-        if circuit.has_channels():
-            raise SimulationError(
-                "circuit contains channel instructions; the statevector "
-                "backend only simulates unitary gates — use "
-                "backend='density_matrix'"
-            )
-        n = circuit.num_qubits
         if initial_state is None:
-            state = np.zeros((2,) * n, dtype=self._dtype)
-            state[(0,) * n] = 1.0
-        elif isinstance(initial_state, str):
-            if len(initial_state) != n:
+            state = np.zeros((2,) * num_qubits, dtype=self._dtype)
+            state[(0,) * num_qubits] = 1.0
+            return state
+        if isinstance(initial_state, str):
+            if len(initial_state) != num_qubits:
                 raise SimulationError(
                     f"initial bitstring {initial_state!r} has "
-                    f"{len(initial_state)} bits, circuit has {n} qubits"
+                    f"{len(initial_state)} bits, circuit has {num_qubits} qubits"
                 )
-            state = (
+            return (
                 Statevector.from_bitstring(initial_state)
                 .tensor()
                 .astype(self._dtype)
             )
-        elif isinstance(initial_state, Statevector):
-            if initial_state.num_qubits != n:
+        if isinstance(initial_state, Statevector):
+            if initial_state.num_qubits != num_qubits:
                 raise SimulationError(
                     f"initial state has {initial_state.num_qubits} qubits, "
-                    f"circuit has {n}"
+                    f"circuit has {num_qubits}"
                 )
-            state = initial_state.tensor().astype(self._dtype)
-        else:
-            raise SimulationError(
-                f"cannot initialise from {type(initial_state).__name__}"
-            )
+            return initial_state.tensor().astype(self._dtype)
+        raise SimulationError(
+            f"cannot initialise from {type(initial_state).__name__}"
+        )
 
-        for instruction in circuit:
-            state = apply_gate_tensor(
-                state, instruction.operation.matrix, instruction.qubits
-            )
-        return Statevector(state.reshape(-1), validate=False)
+    def _finalize(self, tensor: np.ndarray, num_qubits: int) -> Statevector:
+        return Statevector(tensor.reshape(-1), validate=False)
 
 
 register_backend("statevector", StatevectorBackend)

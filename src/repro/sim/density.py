@@ -17,7 +17,6 @@ from typing import Dict, Sequence, Union
 
 import numpy as np
 
-from repro.circuit import Circuit
 from repro.sim.backend import apply_gate_tensor
 from repro.sim.registry import BaseBackend, register_backend
 from repro.sim.statevector import Statevector, _index, norm_atol
@@ -247,14 +246,18 @@ def apply_channel_to_density(
 class DensityMatrixBackend(BaseBackend):
     """Executes :class:`~repro.circuit.Circuit` IR on a dense density matrix.
 
-    ``run()`` comes from :class:`~repro.sim.registry.BaseBackend` (the
-    exact same signature as every other backend); this class supplies
-    the mixed-state kernel.  It handles everything the statevector
-    backend cannot: circuits containing :class:`~repro.circuit.Channel`
-    instructions and declarative :class:`~repro.noise.NoiseModel` noise,
-    at O(4**n) memory.  Noiseless circuits produce the pure projector of
-    the statevector result, so the two backends agree exactly on Born
-    probabilities.
+    ``run()`` and the evolution loop come from
+    :class:`~repro.sim.registry.BaseBackend` (the exact same method
+    objects as every other backend): circuits lower to a
+    ``"density"``-mode :class:`~repro.plan.ExecutionPlan` whose ops
+    conjugate the ``(2,) * 2n`` tensor (``U rho U†`` as two
+    contractions, channels as Kraus sums) with
+    :class:`~repro.noise.NoiseModel` rules matched per instruction at
+    compile time.  It handles everything the statevector backend
+    cannot: circuits containing :class:`~repro.circuit.Channel`
+    instructions and declarative noise, at O(4**n) memory.  Noiseless
+    circuits produce the pure projector of the statevector result, so
+    the two backends agree exactly on Born probabilities.
 
     Parameters
     ----------
@@ -264,6 +267,7 @@ class DensityMatrixBackend(BaseBackend):
     """
 
     name = "density_matrix"
+    plan_mode = "density"
 
     def __init__(self, dtype: np.dtype = np.complex128) -> None:
         dtype = np.dtype(dtype)
@@ -280,6 +284,7 @@ class DensityMatrixBackend(BaseBackend):
         num_qubits: int,
         initial_state: Union[None, str, Statevector, DensityMatrix],
     ) -> np.ndarray:
+        """The starting ``(2,) * 2n`` density tensor."""
         shape = (2,) * (2 * num_qubits)
         if initial_state is None:
             rho = np.zeros(shape, dtype=self._dtype)
@@ -318,37 +323,9 @@ class DensityMatrixBackend(BaseBackend):
             f"cannot initialise from {type(initial_state).__name__}"
         )
 
-    def _execute(
-        self,
-        circuit: Circuit,
-        initial_state: Union[None, str, Statevector, DensityMatrix],
-        options,
-    ) -> DensityMatrix:
-        """Evolve the ``(2,) * 2n`` density tensor through the circuit.
-
-        ``options.noise_model`` attaches channels after matching gate
-        instructions (see :class:`~repro.noise.NoiseModel`); channel
-        instructions embedded in the circuit are applied as written
-        (channels act as transpile barriers, so noise placement survives
-        fusion).
-        """
-        noise_model = options.noise_model
-        n = circuit.num_qubits
-        rho = self._initial_tensor(n, initial_state)
-        for instruction in circuit:
-            if instruction.is_channel:
-                rho = apply_channel_to_density(
-                    rho, instruction.operation.kraus, instruction.qubits, n
-                )
-            else:
-                rho = apply_matrix_to_density(
-                    rho, instruction.operation.matrix, instruction.qubits, n
-                )
-                if noise_model is not None:
-                    for channel, qubits in noise_model.channels_for(instruction):
-                        rho = apply_channel_to_density(rho, channel.kraus, qubits, n)
-        dim = 1 << n
-        return DensityMatrix(rho.reshape(dim, dim), validate=False)
+    def _finalize(self, tensor: np.ndarray, num_qubits: int) -> DensityMatrix:
+        dim = 1 << num_qubits
+        return DensityMatrix(tensor.reshape(dim, dim), validate=False)
 
 
 register_backend("density_matrix", DensityMatrixBackend)

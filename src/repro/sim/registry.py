@@ -10,10 +10,20 @@ time (``repro.sim`` imports both shipped backends), and user backends
 join via :func:`register_backend`.
 
 :class:`BaseBackend` implements that ``run()`` once — option resolution,
-legacy-keyword shimming, transpilation, unbound-parameter rejection — so
-concrete backends only provide ``_execute`` (and optionally a noise
-validation hook).  The shipped backends share the *identical* ``run``
-method object; the parameter list is stated exactly once.
+legacy-keyword shimming, unbound-parameter rejection, compilation to an
+:class:`~repro.plan.ExecutionPlan`, and the shared plan-execution loop
+(:meth:`BaseBackend.execute_plan`) — so concrete backends only provide
+their state-representation hooks: :attr:`~BaseBackend.plan_mode`,
+``_initial_tensor``, ``_finalize`` (and optionally a noise validation
+hook).  The shipped backends share the *identical* ``run`` and
+``execute_plan`` method objects; each contract is stated exactly once.
+
+A third-party backend does not have to subclass :class:`BaseBackend`:
+anything satisfying the :class:`Backend` protocol (``name`` + ``run``)
+registers and serves ``run``/``sample_counts``/``execute`` — including
+parameter sweeps, which fall back to one transpile plus ``bind()+run()``
+per point.  Plan compilation, the plan cache, and batched sweeps are
+reserved for plan-capable backends (those declaring ``plan_mode``).
 """
 
 from __future__ import annotations
@@ -42,16 +52,26 @@ class Backend(Protocol):
 
 
 class BaseBackend:
-    """Shared ``run()`` driver for concrete backends.
+    """Shared ``run()`` / ``execute_plan()`` driver for concrete backends.
 
-    Subclasses set :attr:`name` and implement
-    ``_execute(circuit, initial_state, options)`` on an
-    already-validated, already-transpiled, fully-bound circuit; the
-    ``_validate_noise`` hook lets a backend reject noise it cannot
-    represent before any state is allocated.
+    There is exactly one evolution code path: ``run()`` compiles the
+    circuit into an :class:`~repro.plan.ExecutionPlan` (through the
+    process-wide plan cache) and hands it to :meth:`execute_plan`, whose
+    tight loop — one precomputed op after another — is shared by every
+    backend.  Subclasses set :attr:`name` and :attr:`plan_mode` and
+    implement only the state-representation hooks:
+    ``_initial_tensor(num_qubits, initial_state)`` (allocate/convert the
+    starting tensor) and ``_finalize(tensor, num_qubits)`` (wrap the
+    evolved tensor in the backend's state type).  The ``_validate_noise``
+    hook lets a backend reject noise it cannot represent before any state
+    is allocated.
     """
 
     name = "base"
+    # "statevector" or "density": selects the repro.plan lowering mode.
+    # Concrete subclasses MUST declare it (compile_plan rejects backends
+    # without one, loudly, instead of guessing a state representation).
+    plan_mode = None
 
     def run(
         self,
@@ -91,13 +111,6 @@ class BaseBackend:
                     f"options must be RunOptions, got {type(options).__name__}"
                 )
         self._validate_noise(options.noise_model)
-        if options.optimize or options.passes is not None:
-            # Imported lazily: the transpiler consumes the same circuit IR
-            # this backend executes, and a module-level import either way
-            # would create a cycle once transpile utilities touch sim.
-            from repro.transpile import transpile
-
-            circuit = transpile(circuit, passes=options.passes)
         unbound = circuit.parameters()
         if unbound:
             raise SimulationError(
@@ -105,12 +118,55 @@ class BaseBackend:
                 f"{[p.name for p in unbound]}; bind them (Circuit.bind) or "
                 "run a parameter sweep through repro.execute"
             )
-        return self._execute(circuit, initial_state, options)
+        # Imported lazily: the plan layer consumes the same circuit IR
+        # this backend executes, and a module-level import either way
+        # would create a cycle (compile_plan resolves backends by name).
+        from repro.plan import compile_plan
+
+        plan = compile_plan(circuit, self, options)
+        return self.execute_plan(plan, initial_state)
+
+    def execute_plan(self, plan, initial_state=None):
+        """Run a compiled, fully bound plan — the one evolution loop.
+
+        ``plan`` must have been compiled for this backend's
+        :attr:`plan_mode`.  Dtype mismatches are tolerated and the
+        *plan's* dtype wins: op tensors were cast at compile time, and
+        the initial tensor is cast to match below, so executing a
+        ``complex64`` plan on a ``complex128``-configured backend (or
+        vice versa) stays in the plan's precision end to end.
+        """
+        from repro.plan import ExecutionPlan
+
+        if not isinstance(plan, ExecutionPlan):
+            raise SimulationError(
+                f"expected an ExecutionPlan, got {type(plan).__name__}"
+            )
+        if plan.mode != self.plan_mode:
+            raise SimulationError(
+                f"plan was lowered for mode {plan.mode!r}, but backend "
+                f"{self.name!r} executes {self.plan_mode!r} plans"
+            )
+        if plan.parameters:
+            raise SimulationError(
+                f"plan has unbound parameter(s) "
+                f"{[p.name for p in plan.parameters]}; bind the plan "
+                "(ExecutionPlan.bind) before executing it"
+            )
+        tensor = self._initial_tensor(plan.num_qubits, initial_state)
+        if tensor.dtype != plan.dtype:
+            tensor = tensor.astype(plan.dtype)
+        for op in plan.ops:
+            tensor = op.apply(tensor)
+        return self._finalize(tensor, plan.num_qubits)
 
     def _validate_noise(self, noise_model) -> None:
         """Reject noise this backend cannot represent (default: accept)."""
 
-    def _execute(self, circuit: Circuit, initial_state, options):
+    def _initial_tensor(self, num_qubits: int, initial_state):
+        raise NotImplementedError  # pragma: no cover - abstract hook
+
+    def _finalize(self, tensor, num_qubits: int):
         raise NotImplementedError  # pragma: no cover - abstract hook
 
 

@@ -100,6 +100,16 @@ class PassManager:
         """Per-pass statistics from the most recent :meth:`run`."""
         return self._last_stats
 
+    def last_stats_dicts(self) -> Tuple[dict, ...]:
+        """The most recent run's statistics as JSON-serialisable dicts.
+
+        The plan layer stores this on every compiled
+        :class:`~repro.plan.ExecutionPlan` (``plan.pass_stats``) so a
+        plan can report how the circuit it lowered was rewritten without
+        the caller keeping the :class:`PassManager` alive.
+        """
+        return tuple(stats.as_dict() for stats in self._last_stats)
+
     def append(self, pass_: Pass) -> "PassManager":
         if not isinstance(pass_, Pass):
             raise TranspilerError(
@@ -169,7 +179,8 @@ def transpile(
     passes: Union[None, PassManager, Sequence[Pass]] = None,
     max_fused_width: int = 2,
     pass_manager_out: Optional[List[PassManager]] = None,
-) -> Circuit:
+    lower=None,
+):
     """Optimise ``circuit`` through a pass pipeline.
 
     Parameters
@@ -186,6 +197,12 @@ def transpile(
     pass_manager_out:
         Optional list; when provided, the :class:`PassManager` actually
         used is appended so callers can inspect ``last_stats``.
+    lower:
+        Optional lowering hook: a callable applied to the optimised
+        circuit, whose return value replaces the circuit as this
+        function's result.  ``repro.plan.compile_plan`` routes its
+        circuit-to-:class:`~repro.plan.ExecutionPlan` lowering through
+        this hook so "transpile then lower" is a single pipeline stage.
     """
     if isinstance(passes, PassManager):
         manager = passes
@@ -195,4 +212,7 @@ def transpile(
         manager = PassManager(passes)
     if pass_manager_out is not None:
         pass_manager_out.append(manager)
-    return manager.run(circuit)
+    result = manager.run(circuit)
+    if lower is not None:
+        return lower(result)
+    return result

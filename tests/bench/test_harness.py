@@ -24,12 +24,14 @@ _ROW_KEYS = {
     "depth_unfused",
     "depth_fused",
     "transpile_time_s",
+    "plan_compile_ms",
     "run_time_unfused_s",
     "run_time_fused_s",
     "speedup",
     "counts_match",
     "expectation_z0",
     "expectations_match",
+    "eager_matches_plan",
 }
 
 _SWEEP_KEYS = {
@@ -38,8 +40,12 @@ _SWEEP_KEYS = {
     "points",
     "parameters",
     "transpile_calls",
-    "run_time_s",
+    "plan_compile_ms",
+    "run_time_batched_s",
+    "run_time_per_element_s",
+    "batched_speedup",
     "expectations",
+    "expectations_match",
     "reproducible",
 }
 
@@ -60,7 +66,7 @@ def smoke_report():
 
 class TestRunSuite:
     def test_schema(self, smoke_report):
-        assert smoke_report["schema_version"] == SCHEMA_VERSION == 3
+        assert smoke_report["schema_version"] == SCHEMA_VERSION == 4
         assert smoke_report["config"]["smoke"] is True
         assert smoke_report["config"]["backend"] == "statevector"
         assert smoke_report["config"]["sweep"] is False
@@ -92,8 +98,35 @@ class TestRunSuite:
         assert set(sweep) == _SWEEP_KEYS
         assert sweep["transpile_calls"] == 1
         assert sweep["reproducible"] is True
+        assert sweep["expectations_match"] is True
+        assert sweep["plan_compile_ms"] >= 0
+        assert sweep["run_time_batched_s"] > 0
+        assert sweep["run_time_per_element_s"] > 0
         assert len(sweep["expectations"]) == sweep["points"]
         _strict_loads(json.dumps(report))
+
+    def test_eager_matches_plan_everywhere(self, smoke_report):
+        # The refactor invariant, per workload: run() and precompiled-plan
+        # execution are one code path, bit for bit.
+        for row in smoke_report["workloads"]:
+            assert row["eager_matches_plan"] is True
+
+    def test_plan_compile_measured_separately(self, smoke_report):
+        # compile_ms and run_ms are split so speedups are attributed
+        # honestly; both must be present and non-negative on every row.
+        for row in smoke_report["workloads"]:
+            assert row["plan_compile_ms"] >= 0
+            assert row["transpile_time_s"] >= 0
+
+    def test_sweep_batched_speedup_is_finite_or_null(self):
+        report = run_suite(
+            workloads=[Workload("ghz", 2, lambda: ghz(2))],
+            smoke=True,
+            shots=16,
+            sweep=True,
+        )
+        speedup = report["sweep"]["batched_speedup"]
+        assert speedup is None or (math.isfinite(speedup) and speedup > 0)
 
     def test_layered_rotations_fuses(self, smoke_report):
         rows = [

@@ -110,3 +110,61 @@ class TestQueries:
     def test_repr_mentions_shape(self):
         text = repr(bell())
         assert "2 qubits" in text and "depth 2" in text
+
+
+class TestStats:
+    def test_stats_of_plain_circuit(self):
+        from repro.circuit import CircuitStats
+
+        stats = bell().stats()
+        assert isinstance(stats, CircuitStats)
+        assert stats.num_qubits == 2
+        assert stats.num_instructions == 2
+        assert stats.depth == 2
+        assert stats.gate_counts == {"h": 1, "cx": 1}
+        assert stats.num_parametric == 0
+        assert stats.num_parameters == 0
+        assert stats.num_channels == 0
+
+    def test_stats_counts_parametric_slots_and_symbols(self):
+        from repro.circuit import Parameter
+
+        theta = Parameter("theta")
+        circuit = Circuit(2).ry(theta, 0).rz(theta, 1).rx(0.5, 0)
+        stats = circuit.stats()
+        assert stats.num_parametric == 2  # two slots...
+        assert stats.num_parameters == 1  # ...sharing one symbol
+        assert stats.gate_counts == {"ry": 1, "rz": 1, "rx": 1}
+
+    def test_stats_counts_channels(self):
+        from repro.noise import depolarizing
+
+        circuit = Circuit(1).h(0).channel(depolarizing(0.1), (0,))
+        stats = circuit.stats()
+        assert stats.num_channels == 1
+        assert stats.gate_counts == {"h": 1, "depolarizing": 1}
+
+    def test_stats_key_is_hashable_and_discriminates(self):
+        a, b = bell().stats(), Circuit(2).h(0).cx(0, 1).stats()
+        assert a == b and hash(a) == hash(b)
+        assert {a.key()} == {b.key()}
+        assert a.key() != Circuit(2).h(0).stats().key()
+
+    def test_stats_as_dict_round_trips_json(self):
+        import json
+
+        payload = json.dumps(bell().stats().as_dict())
+        assert json.loads(payload)["gate_counts"] == {"h": 1, "cx": 1}
+
+    def test_stats_immutable_and_defensive(self):
+        stats = bell().stats()
+        with pytest.raises(AttributeError):
+            stats.depth = 99
+        stats.as_dict()["gate_counts"]["h"] = 5
+        assert stats.gate_counts == {"h": 1, "cx": 1}
+
+    def test_stats_gate_counts_read_only(self):
+        stats = bell().stats()
+        with pytest.raises(TypeError):
+            stats.gate_counts["h"] = 99
+        assert hash(stats) == hash(bell().stats())

@@ -89,3 +89,20 @@ class TestCoerce:
     def test_wrong_type_rejected(self):
         with pytest.raises(ExecutionError, match="RunOptions"):
             RunOptions.coerce({"shots": 8})
+
+
+class TestSweepMode:
+    def test_default_is_auto(self):
+        assert RunOptions().sweep_mode == "auto"
+
+    def test_accepted_values(self):
+        for mode in ("auto", "batched", "per_element"):
+            assert RunOptions(sweep_mode=mode).sweep_mode == mode
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ExecutionError, match="sweep_mode"):
+            RunOptions(sweep_mode="vectorised")
+
+    def test_replace_revalidates(self):
+        with pytest.raises(ExecutionError, match="sweep_mode"):
+            RunOptions().replace(sweep_mode="nope")

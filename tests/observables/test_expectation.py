@@ -92,3 +92,68 @@ class TestValidation:
     def test_bad_observable_type(self):
         with pytest.raises(ExecutionError, match="observable"):
             expectation(Statevector.zero_state(1), "Z")
+
+
+class TestBatchedExpectation:
+    def _batch(self, circuits):
+        states = [run(c).tensor() for c in circuits]
+        return np.stack(states)
+
+    def test_matches_per_element_pauli(self):
+        from repro.observables import expectation_batched
+
+        circuits = [
+            Circuit(2).h(0),
+            Circuit(2).x(0).cx(0, 1),
+            Circuit(2).ry(0.4, 0).rz(1.1, 1),
+        ]
+        batch = self._batch(circuits)
+        for observable in (Pauli("ZI"), Pauli("XZ"), Pauli("IY")):
+            values = expectation_batched(batch, observable)
+            assert values.shape == (3,)
+            for i, circuit in enumerate(circuits):
+                assert values[i] == pytest.approx(
+                    expectation(run(circuit), observable), abs=1e-12
+                )
+
+    def test_matches_per_element_pauli_sum(self):
+        from repro.observables import expectation_batched
+
+        observable = PauliSum([(0.5, Pauli("ZZ")), (-1.5, Pauli("XX"))])
+        circuits = [Circuit(2).h(0).cx(0, 1), Circuit(2).h(1)]
+        values = expectation_batched(self._batch(circuits), observable)
+        for i, circuit in enumerate(circuits):
+            assert values[i] == pytest.approx(
+                expectation(run(circuit), observable), abs=1e-12
+            )
+
+    def test_rejects_non_batch_shapes(self):
+        from repro.observables import expectation_batched
+
+        with pytest.raises(ExecutionError, match="batch"):
+            expectation_batched(np.zeros((3, 4)), Pauli("Z"))
+
+    def test_rejects_observable_wider_than_batch(self):
+        from repro.observables import expectation_batched
+
+        batch = np.zeros((2, 2), dtype=complex)
+        batch[:, 0] = 1.0
+        with pytest.raises(ExecutionError, match="qubit"):
+            expectation_batched(batch.reshape(2, 2), Pauli("ZZ"))
+
+    def test_rejects_bad_observable(self):
+        from repro.observables import expectation_batched
+
+        batch = np.zeros((1, 2), dtype=complex)
+        batch[:, 0] = 1.0
+        with pytest.raises(ExecutionError, match="observable"):
+            expectation_batched(batch, "Z")
+
+    def test_real_dtype_batch_promoted_for_y_factors(self):
+        from repro.observables import expectation_batched
+
+        # A hand-built real float batch must not zero Y's imaginary entries.
+        bell = np.zeros((1, 2, 2))
+        bell[0, 0, 0] = bell[0, 1, 1] = 2 ** -0.5
+        values = expectation_batched(bell, Pauli("YY"))
+        assert values[0] == pytest.approx(-1.0)

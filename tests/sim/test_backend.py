@@ -146,6 +146,28 @@ class TestSharedRunSignature:
             DensityMatrixBackend.run
         )
 
+    def test_execute_plan_is_the_same_method_object(self):
+        # The acceptance criterion of the plan refactor: both backends
+        # evolve states exclusively through one shared plan loop; neither
+        # overrides it with a private eager path.
+        from repro.sim import BaseBackend, DensityMatrixBackend
+
+        assert (
+            StatevectorBackend.execute_plan
+            is DensityMatrixBackend.execute_plan
+            is BaseBackend.execute_plan
+        )
+
+    def test_no_per_instruction_eager_loop_left_in_backends(self):
+        # The eager loops are gone from the backend modules: nothing in
+        # sim/backend.py or sim/density.py iterates a circuit anymore.
+        import repro.sim.density as density_module
+
+        for module in (backend_module, density_module):
+            source = inspect.getsource(module)
+            assert "for instruction in circuit" not in source
+            assert "_execute" not in source
+
     def test_both_backends_accept_identical_options(self):
         from repro import RunOptions
         from repro.sim import DensityMatrixBackend
@@ -174,3 +196,18 @@ class TestSharedRunSignature:
     def test_non_runoptions_object_rejected(self):
         with pytest.raises(SimulationError, match="RunOptions"):
             StatevectorBackend().run(Circuit(1).h(0), options={"optimize": True})
+
+
+class TestCrossDtypePlanExecution:
+    def test_plan_dtype_wins_over_backend_dtype(self):
+        # Executing a complex64 plan on a complex128-configured backend
+        # must stay in the plan's precision end to end (and vice versa).
+        from repro import Circuit, compile_plan
+
+        circuit = Circuit(2).h(0).cx(0, 1)
+        half = StatevectorBackend(dtype=np.complex64)
+        full = StatevectorBackend()
+        half_plan = compile_plan(circuit, half, use_cache=False)
+        assert full.execute_plan(half_plan).data.dtype == np.complex64
+        full_plan = compile_plan(circuit, full, use_cache=False)
+        assert half.execute_plan(full_plan).data.dtype == np.complex128

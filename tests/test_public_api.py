@@ -66,6 +66,14 @@ class TestAll:
             "Pauli",
             "PauliSum",
             "expectation",
+            # compiled-plan surface
+            "CircuitStats",
+            "ExecutionPlan",
+            "compile_plan",
+            "plan_cache_info",
+            "clear_plan_cache",
+            "run_batched_sweep",
+            "expectation_batched",
         ],
     )
     def test_new_entry_points_exported(self, name):
@@ -88,6 +96,7 @@ class TestAll:
             "repro.transpile",
             "repro.bench",
             "repro.noise",
+            "repro.plan",
             "repro.sim",
             "repro.observables",
             "repro.execution",
