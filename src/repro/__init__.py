@@ -15,6 +15,8 @@ Layering (each layer depends only on the ones above it)::
     repro.sampling     shot sampling -> Counts (any backend, readout noise)
     repro.observables  Pauli / PauliSum observables, (batched) expectations
     repro.execution    execute() front door: RunOptions, Job, Result/BatchResult
+    repro.service      parallel worker pool (process sharding of shots,
+                       sweeps, batches) + execute_async() bounded job queue
     repro.bench        benchmark workloads + JSON-reporting harness
 
 The public API re-exported here is the supported surface; module internals
@@ -50,6 +52,11 @@ from repro.plan import (
     run_batched_sweep,
 )
 from repro.sampling import Counts, sample_counts, sample_memory
+from repro.service import (
+    ExecutionService,
+    configure_default_service,
+    execute_async,
+)
 from repro.sim import (
     Backend,
     BaseBackend,
@@ -80,7 +87,10 @@ from repro.transpile import (
 from repro.utils import (
     CircuitError,
     ExecutionError,
+    ExecutionQueueFullError,
+    ExecutionTimeoutError,
     NoiseModelError,
+    ParallelExecutionError,
     ReproError,
     SimulationError,
     TranspilerError,
@@ -162,6 +172,10 @@ __all__ = [
     "RunOptions",
     "execute",
     "submit",
+    # parallel / async service
+    "ExecutionService",
+    "configure_default_service",
+    "execute_async",
     # benchmarks
     "run_suite",
     # utils: exceptions
@@ -171,6 +185,9 @@ __all__ = [
     "SimulationError",
     "NoiseModelError",
     "ExecutionError",
+    "ExecutionQueueFullError",
+    "ExecutionTimeoutError",
+    "ParallelExecutionError",
     # utils: bitstrings
     "all_bitstrings",
     "bitstring_to_index",

@@ -1,13 +1,17 @@
 """CLI for the benchmark suite: ``python -m repro.bench [--json] [--smoke]``.
 
-Prints a human-readable table by default, the schema-4 JSON report with
+Prints a human-readable table by default, the schema-5 JSON report with
 ``--json``; ``--sweep`` adds the batched parameter-sweep benchmark run
-through ``repro.execute``.  Exits non-zero if any workload's fused
+through ``repro.execute``, and ``--parallel`` adds the parallel
+execution service legs (per-element sweep + sharded shots, serial vs.
+``--workers`` processes).  Exits non-zero if any workload's fused
 execution fails the seeded counts/expectation-equivalence checks, if
-run() and precompiled-plan execution diverge, or if the sweep is not
+run() and precompiled-plan execution diverge, if the sweep is not
 reproducible, transpiles more than once, drifts between batched and
-per-element execution, or runs *slower* batched than per-element — CI
-treats all of those as regressions.
+per-element execution, or runs *slower* batched than per-element, or if
+any parallel parity boolean fails — CI treats all of those as
+regressions.  Parallel *speedup* is only gated when the host reports at
+least two CPUs (a 1-CPU runner cannot be expected to go faster).
 """
 
 from __future__ import annotations
@@ -47,7 +51,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="Benchmark the simulation backends with and without gate fusion.",
     )
     parser.add_argument(
-        "--json", action="store_true", help="emit the schema-4 JSON report on stdout"
+        "--json", action="store_true", help="emit the schema-5 JSON report on stdout"
     )
     parser.add_argument(
         "--smoke",
@@ -58,6 +62,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--sweep",
         action="store_true",
         help="also benchmark a batched parameter sweep through repro.execute",
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="also benchmark the parallel execution service "
+        "(per-element sweep + sharded shots, serial vs. --workers processes)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes for the --parallel legs (default 2)",
     )
     parser.add_argument("--shots", type=int, default=1024, help="shots for the counts check")
     parser.add_argument("--seed", type=int, default=1234, help="sampling seed")
@@ -88,6 +104,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             max_fused_width=args.max_fused_width,
             backend=args.backend,
             sweep=args.sweep,
+            parallel=args.parallel,
+            workers=args.workers,
         )
     except SimulationError as exc:
         # E.g. --backend density_matrix at full statevector sizes: the
@@ -114,6 +132,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{sweep['transpile_calls']} transpile call), reproducible: "
                 f"{'ok' if sweep['reproducible'] else 'FAIL'}"
             )
+        parallel = report["parallel"]
+        if parallel is not None:
+            for label, leg, parity_keys in (
+                ("sweep", parallel["sweep"], ("results_match",)),
+                (
+                    "shards",
+                    parallel["sharded_shots"],
+                    ("counts_match", "unsharded_matches_shard1"),
+                ),
+            ):
+                speedup = leg["parallel_speedup"]
+                speedup_cell = f"{speedup:.2f}x" if speedup is not None else "n/a"
+                parity_ok = all(leg[key] for key in parity_keys)
+                print(
+                    f"parallel/{label}: {leg['name']}, serial "
+                    f"{leg['run_time_serial_s']:.2g}s vs "
+                    f"{parallel['workers']} workers "
+                    f"{leg['run_time_parallel_s']:.2g}s ({speedup_cell}), "
+                    f"parity: {'ok' if parity_ok else 'FAIL'}"
+                )
 
     failed = False
     mismatched = [w["name"] for w in report["workloads"] if not w["counts_match"]]
@@ -167,6 +205,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
             failed = True
+    parallel = report["parallel"]
+    if parallel is not None:
+        for flag, message in (
+            (
+                parallel["sweep"]["results_match"],
+                "parallel sweep results diverge from serial execution",
+            ),
+            (
+                parallel["sweep"]["workers1_matches_serial"],
+                "max_workers=1 sweep diverges from the default serial path",
+            ),
+            (
+                parallel["sharded_shots"]["counts_match"],
+                "parallel sharded-shot counts diverge from serial sharding",
+            ),
+            (
+                parallel["sharded_shots"]["unsharded_matches_shard1"],
+                "shard_shots=1 diverges from the unsharded sampling path",
+            ),
+        ):
+            if not flag:
+                print(message, file=sys.stderr)
+                failed = True
+        # Speedup is host-dependent: only gate it where more than one
+        # core exists, and leave headroom (0.9x) for scheduler noise at
+        # smoke sizes — correctness gates above are unconditional.
+        cpu_count = parallel["cpu_count"]
+        if cpu_count is not None and cpu_count >= 2:
+            for label, leg in (
+                ("sweep", parallel["sweep"]),
+                ("sharded shots", parallel["sharded_shots"]),
+            ):
+                speedup = leg["parallel_speedup"]
+                if speedup is not None and speedup < 0.9:
+                    print(
+                        f"parallel {label} is slower than serial execution "
+                        f"({speedup:.2f}x with {parallel['workers']} workers "
+                        f"on {cpu_count} CPUs)",
+                        file=sys.stderr,
+                    )
+                    failed = True
     return 1 if failed else 0
 
 

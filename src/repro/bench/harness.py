@@ -1,15 +1,17 @@
 """The bench driver: time each workload unfused vs. transpiled vs. planned.
 
-Report schema (``schema_version`` 4) — stable from this PR onward so CI
+Report schema (``schema_version`` 5) — stable from this PR onward so CI
 artifacts stay comparable across commits::
 
     {
-      "schema_version": 4,
+      "schema_version": 5,
       "config": {"smoke": bool, "shots": int, "seed": int,
                  "repeats": int, "max_fused_width": int,
                  "backend": str,
                  "noise_model": str | null,   # suite-wide model label
-                 "sweep": bool},              # was --sweep requested
+                 "sweep": bool,               # was --sweep requested
+                 "parallel": bool,            # was --parallel requested
+                 "workers": int},             # --workers value
       "workloads": [
         {
           "name": str, "num_qubits": int,
@@ -45,6 +47,29 @@ artifacts stay comparable across commits::
         "expectations": [float, ...],  # batched <Z_0> per sweep point
         "expectations_match": bool,    # batched vs per-element to 1e-9
         "reproducible": bool           # batched re-run is bitwise equal
+      },
+      "parallel": null | {             # present (non-null) with --parallel
+        "workers": int,                # worker processes for parallel legs
+        "cpu_count": int | null,       # os.cpu_count() on the bench host —
+                                       # speedup gates only make sense >= 2
+        "sweep": {                     # per-element (density+noise) sweep
+          "name": str, "backend": str, "num_qubits": int,
+          "points": int, "shots": int,
+          "run_time_serial_s": float,     # max_workers=1
+          "run_time_parallel_s": float,   # max_workers=workers, warm pool
+          "parallel_speedup": float | null,  # serial / parallel
+          "results_match": bool,          # parallel bitwise == serial
+          "workers1_matches_serial": bool # max_workers=1 bitwise == default
+        },
+        "sharded_shots": {             # one state, sampling split k ways
+          "name": str, "num_qubits": int,
+          "shots": int, "shard_shots": int,
+          "run_time_serial_s": float,     # k shards, sampled in-process
+          "run_time_parallel_s": float,   # same k shards on the pool
+          "parallel_speedup": float | null,
+          "counts_match": bool,           # sharded serial == sharded pool
+          "unsharded_matches_shard1": bool  # shard_shots=1 == plain path
+        }
       }
     }
 
@@ -54,7 +79,9 @@ layer — no expectation columns and no ``sweep`` section; version 3
 predates compiled execution plans — no ``plan_compile_ms`` /
 ``eager_matches_plan`` columns, a single sweep ``run_time_s``, and
 workload timings measured through ``run()`` (which now compiles), so
-compile cost leaked into the headline numbers.
+compile cost leaked into the headline numbers; version 4 predates the
+parallel execution service — no ``parallel`` section and no
+``parallel``/``workers`` config keys.
 
 Counts and expectation values are produced through the unified
 :func:`repro.execute` front door, so the harness exercises exactly the
@@ -67,6 +94,7 @@ sweeps that fusion and batching are meant to reduce.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -86,7 +114,7 @@ from repro.sim import get_backend
 from repro.transpile import Pass, transpile
 from repro.utils.exceptions import SimulationError
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 # Mixed-state cost is O(4**n) memory *per contraction temporary*: n = 12
 # is already ~270 MB a copy (minutes of bench wall-time), n = 16 would be
@@ -289,6 +317,147 @@ def _bench_sweep(
     }
 
 
+def _bench_parallel(
+    smoke: bool, seed: int, repeats: int, workers: int
+) -> Dict[str, object]:
+    """Benchmark the parallel execution service against its serial twin.
+
+    Two legs, each timing the *same options* with ``max_workers=1``
+    versus ``max_workers=workers`` so the columns differ only in
+    scheduling:
+
+    * ``sweep`` — a per-element density-matrix sweep with depolarizing
+      gate noise, the workload the service shards element-wise.  Heavy
+      per-point contractions amortise the pickle-and-ship cost, so this
+      is where multi-process wins first.
+    * ``sharded_shots`` — one statevector, a large shot count split into
+      ``shard_shots`` seed-derived shards sampled concurrently.
+
+    Each leg also records parity booleans (parallel results bitwise
+    equal to serial) so CI gates on correctness even on hosts where the
+    speedup gate is meaningless — ``cpu_count`` is in the report
+    precisely because a 1-CPU runner cannot be expected to go faster.
+    Speedups are ``null``, never Infinity, when the parallel leg
+    measured 0.  The first parallel run of each leg is untimed warm-up:
+    it forks the worker pool so pool start-up cost stays out of the
+    steady-state columns.
+    """
+    from repro.noise import NoiseModel, depolarizing
+
+    timing_repeats = max(repeats, 3)
+
+    # --- leg 1: per-element sweep (density + noise) -------------------
+    # Sized so even the smoke leg has tens of milliseconds of serial
+    # work per run: lighter legs drown in fork/pickle overhead and make
+    # the multi-core speedup gate flaky.
+    num_qubits = 6
+    points = 8 if smoke else 16
+    shots = 512 if smoke else 1024
+    template, parameters = parameterized_rotations(num_qubits, layers=2)
+    bindings = sweep_bindings(parameters, points, seed=seed)
+    model = NoiseModel("bench-depolarizing").add_channel(depolarizing(0.02))
+
+    def run_sweep(max_workers: Optional[int]):
+        return execute(
+            template,
+            backend="density_matrix",
+            noise_model=model,
+            shots=shots,
+            seed=seed,
+            parameter_sweep=bindings,
+            sweep_mode="per_element",
+            max_workers=max_workers,
+        )
+
+    serial = run_sweep(None)
+    workers1 = run_sweep(1)
+    parallel = run_sweep(workers)  # warm-up: forks the pool, fills caches
+    results_match = all(
+        a.counts == b.counts
+        and a.expectation_values == b.expectation_values
+        and np.array_equal(a.state.tensor(), b.state.tensor())
+        for a, b in zip(serial, parallel)
+    )
+    workers1_matches_serial = all(
+        a.counts == b.counts
+        and np.array_equal(a.state.tensor(), b.state.tensor())
+        for a, b in zip(serial, workers1)
+    )
+    sweep_serial_s = _best_time(lambda: run_sweep(1), timing_repeats)
+    sweep_parallel_s = _best_time(lambda: run_sweep(workers), timing_repeats)
+
+    sweep_leg = {
+        "name": template.name,
+        "backend": "density_matrix",
+        "num_qubits": num_qubits,
+        "points": points,
+        "shots": shots,
+        "run_time_serial_s": sweep_serial_s,
+        "run_time_parallel_s": sweep_parallel_s,
+        "parallel_speedup": (
+            sweep_serial_s / sweep_parallel_s if sweep_parallel_s > 0 else None
+        ),
+        "results_match": bool(results_match),
+        "workers1_matches_serial": bool(workers1_matches_serial),
+    }
+
+    # --- leg 2: sharded shots on one statevector ----------------------
+    shard_qubits = 10
+    shard_shots_total = 32768 if smoke else 131072
+    shard_count = workers * 2
+    circuit = Circuit(shard_qubits, name="sharded_sampling").h(0)
+    for qubit in range(shard_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+
+    def run_shots(max_workers: Optional[int], shard_shots: int):
+        return execute(
+            circuit,
+            shots=shard_shots_total,
+            seed=seed,
+            memory=True,
+            shard_shots=shard_shots,
+            max_workers=max_workers,
+        )
+
+    sharded_serial = run_shots(1, shard_count)
+    sharded_parallel = run_shots(workers, shard_count)  # warm-up run
+    counts_match = (
+        sharded_serial.counts == sharded_parallel.counts
+        and sharded_serial.memory == sharded_parallel.memory
+    )
+    # shard_shots=1 takes the plain single-draw path bit for bit.
+    unsharded_matches_shard1 = (
+        run_shots(None, 0).counts == run_shots(None, 1).counts
+    )
+    shots_serial_s = _best_time(
+        lambda: run_shots(1, shard_count), timing_repeats
+    )
+    shots_parallel_s = _best_time(
+        lambda: run_shots(workers, shard_count), timing_repeats
+    )
+
+    shard_leg = {
+        "name": circuit.name,
+        "num_qubits": shard_qubits,
+        "shots": shard_shots_total,
+        "shard_shots": shard_count,
+        "run_time_serial_s": shots_serial_s,
+        "run_time_parallel_s": shots_parallel_s,
+        "parallel_speedup": (
+            shots_serial_s / shots_parallel_s if shots_parallel_s > 0 else None
+        ),
+        "counts_match": bool(counts_match),
+        "unsharded_matches_shard1": bool(unsharded_matches_shard1),
+    }
+
+    return {
+        "workers": int(workers),
+        "cpu_count": os.cpu_count(),
+        "sweep": sweep_leg,
+        "sharded_shots": shard_leg,
+    }
+
+
 def run_suite(
     workloads: Optional[Sequence[Workload]] = None,
     smoke: bool = False,
@@ -299,8 +468,10 @@ def run_suite(
     backend: Optional[str] = None,
     noise_model=None,
     sweep: bool = False,
+    parallel: bool = False,
+    workers: int = 2,
 ) -> Dict[str, object]:
-    """Run the benchmark suite and return the schema-4 report dict.
+    """Run the benchmark suite and return the schema-5 report dict.
 
     Parameters
     ----------
@@ -338,6 +509,17 @@ def run_suite(
         Also benchmark a batched parameter sweep through
         :func:`repro.execute` (see :func:`_bench_sweep`); the report's
         top-level ``"sweep"`` entry is ``null`` otherwise.
+    parallel:
+        Also benchmark the parallel execution service (see
+        :func:`_bench_parallel`): a per-element sweep and a sharded-shot
+        sampling leg, each serial vs. ``workers`` processes with parity
+        checks.  The report's top-level ``"parallel"`` entry is ``null``
+        otherwise.
+    workers:
+        Worker-process count for the parallel legs (ignored unless
+        ``parallel`` is set).  Speedup columns only mean something when
+        the host has at least that many cores — the report records
+        ``cpu_count`` so consumers can tell.
     """
     if repeats is None:
         repeats = 1 if smoke else 3
@@ -407,9 +589,14 @@ def run_suite(
             "backend": default_backend.name,
             "noise_model": model_label,
             "sweep": bool(sweep),
+            "parallel": bool(parallel),
+            "workers": int(workers),
         },
         "workloads": results,
         "sweep": (
             _bench_sweep(smoke, seed, max_fused_width, repeats) if sweep else None
+        ),
+        "parallel": (
+            _bench_parallel(smoke, seed, repeats, workers) if parallel else None
         ),
     }

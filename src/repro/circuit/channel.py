@@ -90,6 +90,16 @@ class Channel:
                 f"sum(K†K) deviates from the identity beyond atol={atol}"
             )
 
+    def __setstate__(self, state) -> None:
+        # Default __slots__ pickling restores attributes but loses the Kraus
+        # operators' read-only flag (numpy arrays unpickle writeable);
+        # re-freeze so an unpickled channel keeps the immutability contract.
+        _, slots = state
+        for name, value in slots.items():
+            setattr(self, name, value)
+        for operator in self._kraus:
+            operator.setflags(write=False)
+
     @property
     def name(self) -> str:
         return self._name

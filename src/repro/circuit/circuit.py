@@ -71,6 +71,23 @@ class CircuitStats:
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("CircuitStats is immutable")
 
+    def __reduce__(self):
+        # The gate_counts mappingproxy cannot pickle; rebuild through
+        # __init__ (which re-wraps a private copy) so stats — and the
+        # ExecutionPlans that carry them to worker processes — round-trip.
+        return (
+            CircuitStats,
+            (
+                self.num_qubits,
+                self.num_instructions,
+                self.depth,
+                dict(self.gate_counts),
+                self.num_parametric,
+                self.num_parameters,
+                self.num_channels,
+            ),
+        )
+
     def key(self) -> tuple:
         """A hashable tuple identifying this structural snapshot."""
         return (

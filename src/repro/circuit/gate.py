@@ -93,6 +93,16 @@ class Gate:
                 )
             self._matrix = _as_readonly_matrix(matrix, num_qubits)
 
+    def __setstate__(self, state) -> None:
+        # Default __slots__ pickling restores attributes but loses the
+        # matrix's read-only flag (numpy arrays unpickle writeable);
+        # re-freeze so an unpickled gate keeps the immutability contract.
+        _, slots = state
+        for name, value in slots.items():
+            setattr(self, name, value)
+        if self._matrix is not None:
+            self._matrix.setflags(write=False)
+
     @property
     def name(self) -> str:
         return self._name

@@ -78,19 +78,127 @@ def _normalise_sweep(parameter_sweep: Sweep, circuit: Circuit) -> List[Dict[str,
     return points
 
 
-def _sample(state, options: RunOptions, seed: Optional[int]):
-    """Counts (and optional per-shot memory) for one final state."""
+def sample_shard(probs, shots: int, seed: Optional[int], num_qubits: int, memory: bool):
+    """Counts (and optional per-shot memory) for one shard of shots.
+
+    The unit of sampling work: one probability vector, one shot budget,
+    one derived seed.  The serial sampler, the sharded sampler, and the
+    worker pool all call exactly this function, which is what makes the
+    three arrangements bitwise-interchangeable.
+    """
     rng = ensure_rng(seed)
-    probs = readout_probabilities(state, options.noise_model)
-    if options.memory:
+    if memory:
         # Tally counts from the same per-shot draw so the two views of
         # one experiment can never disagree.
-        memory = memory_from_probabilities(probs, options.shots, rng, state.num_qubits)
+        shard_memory = memory_from_probabilities(probs, shots, rng, num_qubits)
         tally: Dict[str, int] = {}
-        for outcome in memory:
+        for outcome in shard_memory:
             tally[outcome] = tally.get(outcome, 0) + 1
-        return Counts(tally, num_qubits=state.num_qubits), memory
-    return counts_from_probabilities(probs, options.shots, rng, state.num_qubits), None
+        return Counts(tally, num_qubits=num_qubits), shard_memory
+    return counts_from_probabilities(probs, shots, rng, num_qubits), None
+
+
+def _sample(state, options: RunOptions, element_index: int, workers: int = 1):
+    """Counts/memory for batch or sweep element ``element_index``.
+
+    With ``shard_shots`` <= 1 this is the classic single-stream sampler
+    seeded by ``derive_seed(seed, i)``.  With k > 1 shards, shard ``j``
+    draws ``sizes[j]`` shots from ``derive_seed(seed, i, j)`` and the
+    parts merge in shard order — the same split runs serially or on the
+    worker pool, so results depend on ``(seed, shard_shots)`` only.
+    """
+    from repro.service.sharding import (
+        effective_shard_count,
+        merge_counts,
+        merge_memory,
+        shard_seeds,
+        shard_sizes,
+    )
+
+    probs = readout_probabilities(state, options.noise_model)
+    num_shards = effective_shard_count(options.shard_shots, options.shots)
+    seeds = shard_seeds(options.seed, element_index, num_shards)
+    if num_shards <= 1:
+        return sample_shard(
+            probs, options.shots, seeds[0], state.num_qubits, options.memory
+        )
+    sizes = shard_sizes(options.shots, num_shards)
+    tasks = [
+        (probs, size, seed, state.num_qubits, options.memory)
+        for size, seed in zip(sizes, seeds)
+    ]
+    if workers > 1:
+        from repro.service.pool import _shard_task, run_tasks
+
+        parts = run_tasks(_shard_task, tasks, workers)
+    else:
+        parts = [sample_shard(*task) for task in tasks]
+    return (
+        merge_counts([part[0] for part in parts]),
+        merge_memory([part[1] for part in parts]),
+    )
+
+
+def element_payload(plan, point, index: int, options: RunOptions, backend, workers: int = 1):
+    """Execute one compiled element: bind (sweeps), evolve, sample, measure.
+
+    The shared per-element body of per-element sweeps and batches.  It
+    runs identically on the parent (serial path) and inside a worker
+    process (the pool's ``_element_task`` calls it with the unpickled
+    plan), which is the bitwise-parity guarantee for ``max_workers``.
+    Returns a plain dict so the payload crosses process boundaries
+    without dragging Result/BatchResult construction into workers.
+    """
+    bound = plan.bind(point) if point is not None else plan
+    t0 = time.perf_counter()
+    state = backend.execute_plan(bound)
+    run_time = time.perf_counter() - t0
+    counts = memory = None
+    sample_time = 0.0
+    if options.shots:
+        t0 = time.perf_counter()
+        counts, memory = _sample(state, options, index, workers=workers)
+        sample_time = time.perf_counter() - t0
+    values = tuple(
+        expectation(state, observable) for observable in options.observables
+    )
+    return {
+        "index": index,
+        "state": state,
+        "counts": counts,
+        "memory": memory,
+        "values": values,
+        "run_time_s": run_time,
+        "sample_time_s": sample_time,
+    }
+
+
+def _effective_workers(options: RunOptions) -> int:
+    from repro.service.pool import resolve_max_workers
+
+    return resolve_max_workers(options.max_workers)
+
+
+def _worker_options(options: RunOptions) -> RunOptions:
+    """The options shipped to workers: compile-side knobs stripped.
+
+    Workers receive already-compiled plans, so ``passes`` (arbitrary,
+    possibly unpicklable pass objects) and the ``backend`` field (the
+    live instance ships separately) would only widen the pickle surface.
+    """
+    return options.replace(passes=None, backend=None)
+
+
+def _parallel_elements(plan_blobs, points, options: RunOptions, backend, workers: int):
+    """Fan per-element work out to the pool; payload dicts in index order."""
+    from repro.service.pool import _element_task, run_tasks
+
+    shipped = _worker_options(options)
+    tasks = [
+        (blob, point, index, shipped, backend)
+        for index, (blob, point) in enumerate(zip(plan_blobs, points))
+    ]
+    return run_tasks(_element_task, tasks, workers)
 
 
 def _compile_timed(circuit: Circuit, backend, options: RunOptions):
@@ -181,6 +289,7 @@ def _run_sweep(
         def run_point(point: Dict[str, float]):
             return backend.run(bound_template.bind(point), options=element_options)
 
+    workers = _effective_workers(options)
     results: List[Result] = []
     if use_batched:
         from repro.observables import expectation_batched
@@ -217,35 +326,71 @@ def _run_sweep(
                 )
             )
     else:
-        for index, point in enumerate(bindings):
-            element_seed = derive_seed(options.seed, index)
-            t0 = time.perf_counter()
-            state = run_point(point)
-            run_time = time.perf_counter() - t0
-            counts = memory = None
-            sample_time = 0.0
-            if options.shots:
+        if plan_capable:
+            if workers > 1 and len(bindings) > 1:
+                # The plan compiled (and pickles) once; workers only
+                # bind/execute/sample.  Per-element seeds derive from the
+                # element index, so the fan-out is results-invisible.
+                from repro.service.pool import dump_plan
+
+                blob = dump_plan(plan)
+                payloads = _parallel_elements(
+                    [blob] * len(bindings), bindings, options, backend, workers
+                )
+            else:
+                payloads = [
+                    element_payload(
+                        plan, point, index, options, backend, workers=workers
+                    )
+                    for index, point in enumerate(bindings)
+                ]
+        else:
+            # Protocol-only backends have no plan to ship; they sweep
+            # serially (sharded sampling still applies, still off the
+            # element-index seeds).
+            payloads = []
+            for index, point in enumerate(bindings):
                 t0 = time.perf_counter()
-                counts, memory = _sample(state, options, element_seed)
-                sample_time = time.perf_counter() - t0
-            values = tuple(
-                expectation(state, observable)
-                for observable in options.observables
-            )
+                state = run_point(point)
+                run_time = time.perf_counter() - t0
+                counts = memory = None
+                sample_time = 0.0
+                if options.shots:
+                    t0 = time.perf_counter()
+                    counts, memory = _sample(
+                        state, options, index, workers=workers
+                    )
+                    sample_time = time.perf_counter() - t0
+                values = tuple(
+                    expectation(state, observable)
+                    for observable in options.observables
+                )
+                payloads.append(
+                    {
+                        "index": index,
+                        "state": state,
+                        "counts": counts,
+                        "memory": memory,
+                        "values": values,
+                        "run_time_s": run_time,
+                        "sample_time_s": sample_time,
+                    }
+                )
+        for payload, point in zip(payloads, bindings):
             results.append(
                 Result(
                     lambda point=point: bound_template.bind(point),
-                    state,
-                    counts=counts,
-                    memory=memory,
+                    payload["state"],
+                    counts=payload["counts"],
+                    memory=payload["memory"],
                     observables=options.observables,
-                    expectation_values=values,
+                    expectation_values=payload["values"],
                     parameters=point,
                     metadata={
                         "backend": backend.name,
-                        "seed": element_seed,
-                        "run_time_s": run_time,
-                        "sample_time_s": sample_time,
+                        "seed": derive_seed(options.seed, payload["index"]),
+                        "run_time_s": payload["run_time_s"],
+                        "sample_time_s": payload["sample_time_s"],
                     },
                 )
             )
@@ -254,6 +399,7 @@ def _run_sweep(
         metadata={
             "backend": backend.name,
             "sweep_mode": "batched" if use_batched else "per_element",
+            "workers": 1 if use_batched else workers,
             "transpile_time_s": transpile_time,
             "plan_compile_time_s": compile_time,
             "total_time_s": time.perf_counter() - start,
@@ -286,7 +432,6 @@ def _run_batch(
         transpile_time = time.perf_counter() - t0
     element_options = options.replace(optimize=False, passes=None)
 
-    results: List[Result] = []
     for index, circuit in enumerate(circuits):
         unbound = circuit.parameters()
         if unbound:
@@ -295,48 +440,81 @@ def _run_batch(
                 f"{[p.name for p in unbound]}; bind them or pass "
                 "parameter_sweep="
             )
-        element_seed = derive_seed(options.seed, index)
-        if plan_capable:
-            # Compile (through the plan cache) with the *full* options, so
-            # transpile + lowering amortise together across repeated
-            # execute() calls.
+
+    workers = _effective_workers(options)
+    if plan_capable:
+        # Compile every element in the parent (through the plan cache)
+        # with the *full* options, so transpile + lowering amortise
+        # together across repeated execute() calls — workers never
+        # compile, whatever the worker count.
+        plans = []
+        for circuit in circuits:
             plan, element_compile, element_transpile = _compile_timed(
                 circuit, backend, options
             )
             compile_time += element_compile
             transpile_time += element_transpile
-            result_circuit = plan.circuit
-            t0 = time.perf_counter()
-            state = backend.execute_plan(plan)
-            run_time = time.perf_counter() - t0
+            plans.append(plan)
+        result_circuits = [plan.circuit for plan in plans]
+        if workers > 1 and len(plans) > 1:
+            from repro.service.pool import dump_plan
+
+            blobs = [dump_plan(plan) for plan in plans]
+            payloads = _parallel_elements(
+                blobs, [None] * len(plans), options, backend, workers
+            )
         else:
-            result_circuit = circuit
+            payloads = [
+                element_payload(
+                    plan, None, index, options, backend, workers=workers
+                )
+                for index, plan in enumerate(plans)
+            ]
+    else:
+        result_circuits = circuits
+        payloads = []
+        for index, circuit in enumerate(circuits):
             t0 = time.perf_counter()
             state = backend.run(circuit, options=element_options)
             run_time = time.perf_counter() - t0
-        counts = memory = None
-        sample_time = 0.0
-        if options.shots:
-            t0 = time.perf_counter()
-            counts, memory = _sample(state, options, element_seed)
-            sample_time = time.perf_counter() - t0
-        values = tuple(
-            expectation(state, observable) for observable in options.observables
-        )
+            counts = memory = None
+            sample_time = 0.0
+            if options.shots:
+                t0 = time.perf_counter()
+                counts, memory = _sample(state, options, index, workers=workers)
+                sample_time = time.perf_counter() - t0
+            values = tuple(
+                expectation(state, observable)
+                for observable in options.observables
+            )
+            payloads.append(
+                {
+                    "index": index,
+                    "state": state,
+                    "counts": counts,
+                    "memory": memory,
+                    "values": values,
+                    "run_time_s": run_time,
+                    "sample_time_s": sample_time,
+                }
+            )
+
+    results: List[Result] = []
+    for payload, result_circuit in zip(payloads, result_circuits):
         results.append(
             Result(
                 result_circuit,
-                state,
-                counts=counts,
-                memory=memory,
+                payload["state"],
+                counts=payload["counts"],
+                memory=payload["memory"],
                 observables=options.observables,
-                expectation_values=values,
+                expectation_values=payload["values"],
                 parameters=None,
                 metadata={
                     "backend": backend.name,
-                    "seed": element_seed,
-                    "run_time_s": run_time,
-                    "sample_time_s": sample_time,
+                    "seed": derive_seed(options.seed, payload["index"]),
+                    "run_time_s": payload["run_time_s"],
+                    "sample_time_s": payload["sample_time_s"],
                 },
             )
         )
@@ -346,6 +524,7 @@ def _run_batch(
         results,
         metadata={
             "backend": backend.name,
+            "workers": workers,
             "transpile_time_s": transpile_time,
             "plan_compile_time_s": compile_time,
             "total_time_s": time.perf_counter() - start,

@@ -114,6 +114,17 @@ class Result:
         """Timing and provenance: backend, derived seed, wall-times."""
         return dict(self._metadata)
 
+    def __getstate__(self):
+        # Sweep results may defer the circuit behind a zero-arg closure,
+        # and closures do not pickle; resolve it first so results can
+        # cross process boundaries (worker pools) intact.
+        _ = self.circuit
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+
     def expectation(self, observable) -> float:
         """Evaluate one more observable on the retained final state."""
         from repro.observables import expectation
@@ -184,9 +195,14 @@ class Job:
     Created by :func:`repro.execution.submit`; :meth:`result` performs
     the work on first call and caches the outcome (or the error), so
     repeated calls are free and deterministic.
+
+    A job enqueued through :func:`repro.service.execute_async` is
+    *async* instead: a dispatcher thread runs it, :attr:`status` moves
+    through ``queued -> running -> done``/``error``, and
+    :meth:`result` blocks (honouring ``timeout``) until it finishes.
     """
 
-    __slots__ = ("_runner", "_options", "_num_elements", "_status", "_result", "_error")
+    __slots__ = ("_runner", "_options", "_num_elements", "_status", "_result", "_error", "_async")
 
     def __init__(
         self,
@@ -200,6 +216,9 @@ class Job:
         self._status = "created"
         self._result: Union[None, Result, BatchResult] = None
         self._error: Optional[BaseException] = None
+        # A service-attached JobState (duck-typed; the execution layer
+        # never imports the service layer).  None = plain synchronous job.
+        self._async = None
 
     @property
     def options(self):
@@ -213,28 +232,73 @@ class Job:
 
     @property
     def status(self) -> str:
-        """``"created"``, ``"done"``, or ``"error"``."""
+        """``"created"``, ``"queued"``, ``"running"``, ``"done"``, or
+        ``"error"``.  Synchronous jobs only ever report ``created``,
+        ``running`` (briefly, on the executing thread), ``done``, or
+        ``error``; the queued state belongs to async jobs."""
+        if self._async is not None:
+            return self._async.status
         return self._status
 
-    def result(self) -> Union[Result, BatchResult]:
+    def done(self) -> bool:
+        """Whether the job has finished (successfully or not)."""
+        return self.status in ("done", "error")
+
+    def _attach_async(self, state) -> None:
+        """Hand the job to an execution service (service layer only)."""
+        if self._async is not None or self._status != "created":
+            raise ExecutionError("job was already started or enqueued")
+        self._async = state
+
+    def _run_async(self) -> None:
+        """Run the job on behalf of a service dispatcher."""
+        state = self._async
+        state.mark_running()
+        try:
+            result = self._runner()
+        except BaseException as exc:  # workers/backends may raise anything
+            state.mark_error(exc)
+        else:
+            state.mark_done(result)
+            self._runner = None
+
+    def result(self, timeout: Optional[float] = None) -> Union[Result, BatchResult]:
         """Run (first call) or fetch the cached outcome.
+
+        For an async job this blocks until a dispatcher finishes it,
+        raising :class:`~repro.utils.ExecutionTimeoutError` after
+        ``timeout`` seconds (the job keeps running; call again to
+        collect).  For a synchronous job the work happens inline on the
+        first call and ``timeout`` is ignored.
 
         A job that failed re-raises the same error on every call.
         KeyboardInterrupt/SystemExit are *not* cached — an interrupted
-        job stays retryable.
+        synchronous job stays retryable.
         """
+        if self._async is not None:
+            if not self._async.wait(timeout):
+                from repro.utils.exceptions import ExecutionTimeoutError
+
+                raise ExecutionTimeoutError(
+                    f"job still {self._async.status!r} after {timeout}s"
+                )
+            return self._async.outcome()
         if self._status == "error":
             raise self._error
         if self._status != "done":
+            self._status = "running"
             try:
                 self._result = self._runner()
             except Exception as exc:
                 self._status = "error"
                 self._error = exc
                 raise
+            except BaseException:
+                self._status = "created"  # interrupted: stays retryable
+                raise
             self._status = "done"
             self._runner = None  # free the closure (circuits, bindings)
         return self._result
 
     def __repr__(self) -> str:
-        return f"Job({self._num_elements} element(s), status={self._status!r})"
+        return f"Job({self._num_elements} element(s), status={self.status!r})"

@@ -73,6 +73,22 @@ class RunOptions:
         is not batchable); ``"per_element"`` forces one execution per
         binding.  Either way the parametric template compiles exactly
         once.
+    max_workers:
+        Worker processes for per-element sweeps, batches, and sharded
+        shot sampling.  ``None`` (default) defers to the
+        ``REPRO_MAX_WORKERS`` environment variable (absent -> serial);
+        ``1`` forces the serial path.  Worker count never changes
+        results: element/shard seeds derive from positions, not from
+        scheduling, so any ``max_workers`` is bitwise-identical to
+        serial for the same options.
+    shard_shots:
+        Number of shards to split each element's shot sampling into
+        (``0``/``1`` = no sharding).  Shard ``j`` of element ``i`` draws
+        from ``derive_seed(seed, i, j)``, so the merged counts depend
+        only on ``(seed, shard_shots)`` — sharded sampling is applied on
+        the serial path too, keeping results independent of
+        ``max_workers``.  Note k > 1 shards draw from k derived streams,
+        so counts differ (validly) from the unsharded stream.
     """
 
     backend: Any = None
@@ -84,6 +100,8 @@ class RunOptions:
     observables: Tuple[Any, ...] = field(default=())
     memory: bool = False
     sweep_mode: str = "auto"
+    max_workers: Optional[int] = None
+    shard_shots: int = 0
 
     def __post_init__(self) -> None:
         shots = _as_int(self.shots)
@@ -117,6 +135,21 @@ class RunOptions:
                 f"sweep_mode must be 'auto', 'batched', or 'per_element', "
                 f"got {self.sweep_mode!r}"
             )
+        if self.max_workers is not None:
+            max_workers = _as_int(self.max_workers)
+            if max_workers is None or max_workers < 1:
+                raise ExecutionError(
+                    f"max_workers must be a positive int or None, got "
+                    f"{self.max_workers!r}"
+                )
+            object.__setattr__(self, "max_workers", max_workers)
+        shard_shots = _as_int(self.shard_shots)
+        if shard_shots is None or shard_shots < 0:
+            raise ExecutionError(
+                f"shard_shots must be a non-negative int, got "
+                f"{self.shard_shots!r}"
+            )
+        object.__setattr__(self, "shard_shots", shard_shots)
 
     def replace(self, **changes: Any) -> "RunOptions":
         """A copy with ``changes`` applied (re-validated)."""

@@ -48,6 +48,15 @@ class ReadoutError:
         confusion.setflags(write=False)
         self._confusion = confusion
 
+    def __setstate__(self, state) -> None:
+        # Default __slots__ pickling restores attributes but loses the
+        # confusion matrix's read-only flag (numpy arrays unpickle
+        # writeable); re-freeze to keep the immutability contract.
+        _, slots = state
+        for name, value in slots.items():
+            setattr(self, name, value)
+        self._confusion.setflags(write=False)
+
     @property
     def p1_given_0(self) -> float:
         return self._p1_given_0

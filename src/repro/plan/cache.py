@@ -18,15 +18,24 @@ noise-model rule *additions* change the rule count and miss naturally.
 
 The cache is LRU-bounded and instrumented: :func:`plan_cache_info`
 exposes hits/misses/size for tests, benchmarks, and capacity planning.
+
+All entry points take a module lock: the async execution service compiles
+plans from dispatcher threads while user code compiles on the main thread,
+and an unguarded ``move_to_end``/eviction race corrupts the OrderedDict.
+The lock is process-local — worker processes get their own (empty) cache,
+which is why the parent ships *compiled* plans to workers instead of
+letting them compile.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional
 
 _MAXSIZE = 64
 
+_LOCK = threading.Lock()
 _CACHE: "OrderedDict[tuple, _Entry]" = OrderedDict()
 _HITS = 0
 _MISSES = 0
@@ -97,37 +106,42 @@ def cache_get(circuit, backend_name, mode, dtype, options):
     """The cached plan for this compilation, or ``None`` (counted either way)."""
     global _HITS, _MISSES
     key = _key(circuit, backend_name, mode, dtype, options)
-    entry = _CACHE.get(key)
-    if entry is None:
-        _MISSES += 1
-        return None
-    _CACHE.move_to_end(key)
-    _HITS += 1
-    return entry.plan
+    with _LOCK:
+        entry = _CACHE.get(key)
+        if entry is None:
+            _MISSES += 1
+            return None
+        _CACHE.move_to_end(key)
+        _HITS += 1
+        return entry.plan
 
 
 def cache_put(circuit, backend_name, mode, dtype, options, plan) -> None:
     """Insert ``plan``, evicting the least recently used entry when full."""
     key = _key(circuit, backend_name, mode, dtype, options)
-    _CACHE[key] = _Entry(plan, options.noise_model, options.passes)
-    _CACHE.move_to_end(key)
-    while len(_CACHE) > _MAXSIZE:
-        _CACHE.popitem(last=False)
+    entry = _Entry(plan, options.noise_model, options.passes)
+    with _LOCK:
+        _CACHE[key] = entry
+        _CACHE.move_to_end(key)
+        while len(_CACHE) > _MAXSIZE:
+            _CACHE.popitem(last=False)
 
 
 def plan_cache_info() -> Dict[str, int]:
     """Cache counters: ``{"hits", "misses", "size", "maxsize"}``."""
-    return {
-        "hits": _HITS,
-        "misses": _MISSES,
-        "size": len(_CACHE),
-        "maxsize": _MAXSIZE,
-    }
+    with _LOCK:
+        return {
+            "hits": _HITS,
+            "misses": _MISSES,
+            "size": len(_CACHE),
+            "maxsize": _MAXSIZE,
+        }
 
 
 def clear_plan_cache() -> None:
     """Drop every cached plan and reset the hit/miss counters."""
     global _HITS, _MISSES
-    _CACHE.clear()
-    _HITS = 0
-    _MISSES = 0
+    with _LOCK:
+        _CACHE.clear()
+        _HITS = 0
+        _MISSES = 0

@@ -61,6 +61,13 @@ class Counts(Dict[str, int]):
         """A Counts copy (not a plain dict), preserving ``num_qubits``."""
         return Counts(dict(self), num_qubits=self._num_qubits)
 
+    def __reduce__(self):
+        # Default dict-subclass pickling restores items through
+        # ``__setitem__``, which this class freezes; rebuild through the
+        # validating constructor instead so a round-trip crosses process
+        # boundaries (worker-pool results) and stays read-only.
+        return (Counts, (dict(self), self._num_qubits))
+
     @property
     def num_qubits(self) -> int:
         return self._num_qubits

@@ -1,0 +1,56 @@
+"""Parallel execution service: worker pool, sharding, async job queue.
+
+This layer scales the execution front door out across processes without
+changing a single result bit:
+
+* :mod:`repro.service.sharding` — deterministic shard math.  Seeds are
+  derived from *coordinates* (element index, shard index), never from
+  scheduling, so the merged outcome is invariant under worker count.
+* :mod:`repro.service.pool` — the process pool.  The parent compiles and
+  pickles each plan once; workers cache unpickled plans by digest and
+  only ever ``bind()`` them.
+* :mod:`repro.service.futures` — thread-safe :class:`JobState` backing
+  async jobs.
+* :mod:`repro.service.queue` — :func:`execute_async` and the bounded
+  :class:`ExecutionService` with real backpressure.
+
+Synchronous callers never touch this package: ``execute()`` with
+``max_workers`` unset (or 1) runs the exact serial code path it always
+has.
+"""
+
+from repro.service.futures import JobState
+from repro.service.pool import (
+    WORKERS_ENV_VAR,
+    resolve_max_workers,
+    shutdown_pool,
+)
+from repro.service.queue import (
+    ExecutionService,
+    configure_default_service,
+    default_service,
+    execute_async,
+)
+from repro.service.sharding import (
+    effective_shard_count,
+    merge_counts,
+    merge_memory,
+    shard_seeds,
+    shard_sizes,
+)
+
+__all__ = [
+    "ExecutionService",
+    "JobState",
+    "WORKERS_ENV_VAR",
+    "configure_default_service",
+    "default_service",
+    "effective_shard_count",
+    "execute_async",
+    "merge_counts",
+    "merge_memory",
+    "resolve_max_workers",
+    "shard_seeds",
+    "shard_sizes",
+    "shutdown_pool",
+]

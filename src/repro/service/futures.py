@@ -1,0 +1,70 @@
+"""Thread-safe job state for the async execution service.
+
+A :class:`JobState` is the synchronisation half of an async
+:class:`~repro.execution.Job`: the dispatcher thread drives the status
+machine (``created -> queued -> running -> done | error``) while any
+number of caller threads block in :meth:`wait`.  It lives in the service
+layer so the execution layer keeps zero threading machinery — a plain
+synchronous ``Job`` never allocates one.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+#: Legal status transitions; guards against a late ``mark_queued`` racing
+#: a dispatcher that already started the job.
+_ORDER = {"created": 0, "queued": 1, "running": 2, "done": 3, "error": 3}
+
+
+class JobState:
+    """Status + outcome of one async job, safe to poll from any thread."""
+
+    __slots__ = ("_lock", "_finished", "_status", "_result", "_error")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._finished = threading.Event()
+        self._status = "created"
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def status(self) -> str:
+        with self._lock:
+            return self._status
+
+    def _advance(self, status: str) -> None:
+        with self._lock:
+            if _ORDER[status] > _ORDER[self._status]:
+                self._status = status
+
+    def mark_queued(self) -> None:
+        self._advance("queued")
+
+    def mark_running(self) -> None:
+        self._advance("running")
+
+    def mark_done(self, result: Any) -> None:
+        with self._lock:
+            self._result = result
+            self._status = "done"
+        self._finished.set()
+
+    def mark_error(self, error: BaseException) -> None:
+        with self._lock:
+            self._error = error
+            self._status = "error"
+        self._finished.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes; ``False`` on timeout."""
+        return self._finished.wait(timeout)
+
+    def outcome(self) -> Any:
+        """The finished job's result, re-raising its error verbatim."""
+        with self._lock:
+            if self._error is not None:
+                raise self._error
+            return self._result

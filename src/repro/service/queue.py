@@ -1,0 +1,204 @@
+"""The async job front door: a bounded queue feeding dispatcher threads.
+
+:func:`execute_async` is the non-blocking sibling of
+:func:`repro.execute`: it validates eagerly (bad circuits or options
+raise *now*, in the caller), enqueues a :class:`~repro.execution.Job`
+onto a bounded queue, and returns the handle immediately.  Dispatcher
+threads drain the queue in FIFO order and run each job through the very
+same execution pipeline the synchronous path uses — including the
+process worker pool when the job's options ask for ``max_workers > 1``.
+
+The queue is bounded on purpose: an unbounded buffer turns overload into
+silent memory growth.  A full queue raises
+:class:`~repro.utils.ExecutionQueueFullError` so callers can apply their
+own backpressure (retry, shed, or 429).
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+from typing import Any, Optional
+
+from repro.service.futures import JobState
+from repro.utils.exceptions import ExecutionError, ExecutionQueueFullError
+
+#: How long a dispatcher sleeps in ``Queue.get`` before re-checking the
+#: shutdown flag; bounds shutdown latency, invisible otherwise.
+_POLL_S = 0.05
+
+
+class ExecutionService:
+    """A bounded job queue drained by background dispatcher threads.
+
+    Parameters
+    ----------
+    max_pending:
+        Queue capacity; :meth:`submit` raises
+        :class:`ExecutionQueueFullError` when this many jobs are waiting.
+    dispatchers:
+        Number of daemon dispatcher threads.  ``0`` starts none: jobs
+        stay queued until :meth:`process_one` is called, which makes the
+        service deterministic for tests and usable as a cooperative
+        (caller-driven) executor.
+    """
+
+    def __init__(self, max_pending: int = 64, dispatchers: int = 1) -> None:
+        if max_pending < 1:
+            raise ExecutionError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if dispatchers < 0:
+            raise ExecutionError(
+                f"dispatchers must be >= 0, got {dispatchers}"
+            )
+        self._max_pending = int(max_pending)
+        self._jobs: "_queue.Queue" = _queue.Queue(maxsize=self._max_pending)
+        self._stop = threading.Event()
+        self._threads = []
+        for index in range(dispatchers):
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"repro-dispatch-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    @property
+    def max_pending(self) -> int:
+        return self._max_pending
+
+    @property
+    def pending(self) -> int:
+        """Jobs enqueued but not yet picked up by a dispatcher."""
+        return self._jobs.qsize()
+
+    def submit(
+        self,
+        circuits,
+        options=None,
+        *,
+        parameter_sweep=None,
+        **kwargs: Any,
+    ):
+        """Validate, enqueue, and return a :class:`~repro.execution.Job`.
+
+        The returned job's :attr:`~repro.execution.Job.status` moves
+        through ``queued -> running -> done``/``error``;
+        ``result(timeout=...)`` blocks until done or raises
+        :class:`~repro.utils.ExecutionTimeoutError`.
+        """
+        if self._stop.is_set():
+            raise ExecutionError("cannot submit to a shut-down service")
+        from repro.execution import submit as _submit
+
+        job = _submit(
+            circuits, options, parameter_sweep=parameter_sweep, **kwargs
+        )
+        # Attach state before enqueueing: a dispatcher may grab the job
+        # the instant it lands, and JobState only advances forward, so
+        # queued can never overwrite running.
+        state = JobState()
+        job._attach_async(state)
+        state.mark_queued()
+        try:
+            self._jobs.put_nowait(job)
+        except _queue.Full:
+            raise ExecutionQueueFullError(
+                f"job queue is full ({self._max_pending} pending); retry "
+                "later or widen it via ExecutionService(max_pending=...)"
+            ) from None
+        return job
+
+    def process_one(self, timeout: Optional[float] = None) -> bool:
+        """Run the next queued job on the calling thread.
+
+        Returns ``False`` when nothing is queued within ``timeout``
+        (``None`` = don't wait).  This is the manual drain used with
+        ``dispatchers=0``; it is also safe alongside live dispatchers.
+        """
+        try:
+            if timeout is None:
+                job = self._jobs.get_nowait()
+            else:
+                job = self._jobs.get(timeout=timeout)
+        except _queue.Empty:
+            return False
+        try:
+            job._run_async()
+        finally:
+            self._jobs.task_done()
+        return True
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            self.process_one(timeout=_POLL_S)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the dispatchers.  Jobs still queued are never started
+        (their status stays ``"queued"``); jobs already running finish."""
+        self._stop.set()
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "ExecutionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "stopped" if self._stop.is_set() else "running"
+        return (
+            f"ExecutionService({len(self._threads)} dispatcher(s), "
+            f"{self.pending}/{self._max_pending} pending, {state})"
+        )
+
+
+_DEFAULT: Optional[ExecutionService] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_service() -> ExecutionService:
+    """The process-wide service ``execute_async`` uses, created lazily."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = ExecutionService()
+        return _DEFAULT
+
+
+def configure_default_service(
+    max_pending: int = 64, dispatchers: int = 1
+) -> ExecutionService:
+    """Replace the default service (shutting the old one down)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is not None:
+            _DEFAULT.shutdown(wait=False)
+        _DEFAULT = ExecutionService(
+            max_pending=max_pending, dispatchers=dispatchers
+        )
+        return _DEFAULT
+
+
+def execute_async(
+    circuits,
+    options=None,
+    *,
+    parameter_sweep=None,
+    service: Optional[ExecutionService] = None,
+    **kwargs: Any,
+):
+    """Enqueue an execution and return its :class:`~repro.execution.Job`.
+
+    Same surface as :func:`repro.execute` plus an optional ``service``;
+    without one the shared default service runs the job on a background
+    dispatcher.  Collect with ``job.result(timeout=...)``.
+    """
+    target = service if service is not None else default_service()
+    return target.submit(
+        circuits, options, parameter_sweep=parameter_sweep, **kwargs
+    )

@@ -1,0 +1,89 @@
+"""Deterministic shard arithmetic for shots, sweeps, and batches.
+
+Sharding never changes *what* is computed, only *where*: every shard's
+random stream is derived from the base seed and the shard's position
+(:func:`~repro.utils.derive_seed`), so the merged outcome depends only on
+``(seed, shard count)`` — never on worker count, scheduling order, or
+whether the shards ran in-process or in a pool.  That invariant is what
+lets the execution layer promise ``max_workers`` is results-invisible.
+
+The one place sharding *does* change the random stream is the shard
+count itself: splitting N shots into k > 1 shards draws from k derived
+streams instead of one, so ``shard_shots=4`` produces different (equally
+valid) counts than ``shard_shots=0``.  ``shard_shots in (0, 1)`` uses the
+unsharded element stream exactly and is bitwise-identical to the
+pre-sharding behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.utils.exceptions import ExecutionError
+from repro.utils.rng import derive_seed
+
+
+def shard_sizes(total: int, num_shards: int) -> List[int]:
+    """Split ``total`` shots into ``num_shards`` near-equal positive parts.
+
+    The first ``total % num_shards`` shards carry one extra shot, so the
+    split is deterministic and ``sum(shard_sizes(n, k)) == n``.
+    """
+    if total < 0:
+        raise ExecutionError(f"cannot shard a negative total: {total}")
+    if num_shards < 1:
+        raise ExecutionError(f"need at least one shard, got {num_shards}")
+    base, extra = divmod(total, num_shards)
+    return [base + (1 if i < extra else 0) for i in range(num_shards)]
+
+
+def effective_shard_count(shard_shots: int, shots: int) -> int:
+    """The shard count actually used for an element's sampling.
+
+    ``shard_shots`` values of 0 and 1 mean "do not shard"; larger values
+    are clamped to ``shots`` so no shard ever samples zero shots (an
+    empty shard would burn a derived seed for nothing and make the
+    merged result depend on the clamp).
+    """
+    if shard_shots <= 1 or shots <= 1:
+        return 1
+    return min(shard_shots, shots)
+
+
+def shard_seeds(
+    seed: Optional[int], element_index: int, num_shards: int
+) -> List[Optional[int]]:
+    """Per-shard seeds for element ``element_index`` of a batch/sweep.
+
+    An unsharded element (``num_shards <= 1``) gets exactly the classic
+    per-element seed ``derive_seed(seed, i)`` — bitwise-compatible with
+    the serial, pre-sharding sampler.  Sharded elements extend the same
+    spawn-key scheme one level down: shard ``j`` draws from
+    ``derive_seed(seed, i, j)``, which depends only on the coordinates
+    ``(i, j)``, never on which worker runs the shard or when.
+    """
+    if num_shards <= 1:
+        return [derive_seed(seed, element_index)]
+    return [
+        derive_seed(seed, element_index, j) for j in range(num_shards)
+    ]
+
+
+def merge_counts(parts: Sequence):
+    """Merge per-shard :class:`~repro.sampling.Counts` in shard order."""
+    if not parts:
+        raise ExecutionError("no count shards to merge")
+    merged = parts[0]
+    for part in parts[1:]:
+        merged = merged.merged(part)
+    return merged
+
+
+def merge_memory(parts: Sequence[Optional[List[str]]]) -> Optional[List[str]]:
+    """Concatenate per-shard shot memory in shard order (``None`` stays)."""
+    if not parts or parts[0] is None:
+        return None
+    memory: List[str] = []
+    for part in parts:
+        memory.extend(part or ())
+    return memory

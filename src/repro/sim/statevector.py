@@ -66,6 +66,15 @@ class Statevector:
         self._data = data
         self._num_qubits = num_qubits
 
+    def __setstate__(self, state) -> None:
+        # Default __slots__ pickling restores attributes but loses the
+        # amplitude buffer's read-only flag (numpy arrays unpickle
+        # writeable); re-freeze so unpickled states stay immutable.
+        _, slots = state
+        for name, value in slots.items():
+            setattr(self, name, value)
+        self._data.setflags(write=False)
+
     # ------------------------------------------------------------------
     # constructors
     # ------------------------------------------------------------------

@@ -3,7 +3,10 @@
 from repro.utils.exceptions import (
     CircuitError,
     ExecutionError,
+    ExecutionQueueFullError,
+    ExecutionTimeoutError,
     NoiseModelError,
+    ParallelExecutionError,
     ReproError,
     SimulationError,
     TranspilerError,
@@ -25,6 +28,9 @@ __all__ = [
     "SimulationError",
     "NoiseModelError",
     "ExecutionError",
+    "ExecutionQueueFullError",
+    "ExecutionTimeoutError",
+    "ParallelExecutionError",
     "derive_seed",
     "ensure_rng",
     "spawn_rngs",

@@ -32,3 +32,24 @@ class ExecutionError(ReproError):
     ``execute()`` batches or parameter sweeps, and ill-formed
     :class:`~repro.observables.Pauli` observables.
     """
+
+
+class ExecutionQueueFullError(ExecutionError):
+    """Raised when the async job queue is at capacity (backpressure).
+
+    ``execute_async`` refuses new jobs instead of buffering without bound;
+    callers should retry later, raise their own 429, or widen the queue
+    via :func:`repro.service.configure_default_service`.
+    """
+
+
+class ExecutionTimeoutError(ExecutionError):
+    """Raised by ``Job.result(timeout=...)`` when the job does not finish
+    within the timeout.  The job keeps running; a later ``result()`` call
+    can still collect it."""
+
+
+class ParallelExecutionError(ExecutionError):
+    """Raised when the worker pool cannot run a job: unpicklable payloads
+    (plans, options, noise models crossing the process boundary) or a
+    broken/terminated worker process."""

@@ -106,3 +106,37 @@ class TestSweepMode:
     def test_replace_revalidates(self):
         with pytest.raises(ExecutionError, match="sweep_mode"):
             RunOptions().replace(sweep_mode="nope")
+
+
+class TestParallelOptions:
+    def test_defaults_are_serial(self):
+        options = RunOptions()
+        assert options.max_workers is None
+        assert options.shard_shots == 0
+
+    def test_max_workers_accepts_positive_ints(self):
+        assert RunOptions(max_workers=1).max_workers == 1
+        assert RunOptions(max_workers=8).max_workers == 8
+
+    def test_max_workers_rejects_non_positive(self):
+        for bad in (0, -2):
+            with pytest.raises(ExecutionError, match="max_workers"):
+                RunOptions(max_workers=bad)
+
+    def test_max_workers_rejects_non_ints(self):
+        for bad in (2.5, "4", True):
+            with pytest.raises(ExecutionError, match="max_workers"):
+                RunOptions(max_workers=bad)
+
+    def test_shard_shots_accepts_non_negative_ints(self):
+        assert RunOptions(shard_shots=0).shard_shots == 0
+        assert RunOptions(shard_shots=16).shard_shots == 16
+
+    def test_shard_shots_rejects_invalid(self):
+        for bad in (-1, 1.5, "2", True):
+            with pytest.raises(ExecutionError, match="shard_shots"):
+                RunOptions(shard_shots=bad)
+
+    def test_replace_revalidates_parallel_fields(self):
+        with pytest.raises(ExecutionError, match="max_workers"):
+            RunOptions().replace(max_workers=0)

@@ -221,3 +221,43 @@ class TestPassManagerMutation:
         passes[0] = CancelInversePairs()
         run(circuit, options=RunOptions(passes=passes))
         assert plan_cache_info()["misses"] == 2
+
+
+class TestThreadSafety:
+    def test_concurrent_get_put_info_clear(self):
+        # The async service compiles from dispatcher threads while the
+        # main thread compiles too; hammer every cache entry point at
+        # once and require internally consistent counters at the end.
+        import threading
+
+        def distinct_circuit(worker: int, step: int) -> Circuit:
+            circuit = Circuit(2)
+            for _ in range(1 + (worker * 17 + step) % 8):
+                circuit.h(0)
+            circuit.cx(0, 1)
+            return circuit
+
+        errors = []
+
+        def hammer(worker: int):
+            try:
+                for step in range(30):
+                    compile_plan(distinct_circuit(worker, step), "statevector")
+                    plan_cache_info()
+                    if worker == 0 and step % 10 == 9:
+                        clear_plan_cache()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,))
+            for worker in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        info = plan_cache_info()
+        assert 0 <= info["size"] <= info["maxsize"]
+        assert info["hits"] >= 0 and info["misses"] >= 0

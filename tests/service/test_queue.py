@@ -1,0 +1,184 @@
+"""Tests for the async front door: queue, backpressure, job lifecycle."""
+
+import threading
+
+import pytest
+
+from repro import Circuit, RunOptions, execute, execute_async
+from repro.service import ExecutionService, configure_default_service
+from repro.service.futures import JobState
+from repro.utils.exceptions import (
+    ExecutionError,
+    ExecutionQueueFullError,
+    ExecutionTimeoutError,
+)
+
+
+def _bell() -> Circuit:
+    return Circuit(2).h(0).cx(0, 1)
+
+
+class TestJobState:
+    def test_status_machine_only_advances(self):
+        state = JobState()
+        assert state.status == "created"
+        state.mark_running()
+        state.mark_queued()  # late queued must not regress running
+        assert state.status == "running"
+        state.mark_done("x")
+        assert state.status == "done"
+        assert state.outcome() == "x"
+
+    def test_error_outcome_reraises(self):
+        state = JobState()
+        state.mark_error(ValueError("boom"))
+        assert state.status == "error"
+        with pytest.raises(ValueError):
+            state.outcome()
+
+    def test_wait_times_out_then_succeeds(self):
+        state = JobState()
+        assert not state.wait(0.01)
+        state.mark_done(1)
+        assert state.wait(0.01)
+
+
+class TestManualService:
+    """dispatchers=0: fully deterministic queue behaviour."""
+
+    def test_jobs_wait_until_processed(self):
+        service = ExecutionService(max_pending=4, dispatchers=0)
+        job = service.submit(_bell(), shots=20, seed=1)
+        assert job.status == "queued"
+        assert service.pending == 1
+        assert service.process_one()
+        assert job.status == "done"
+        assert job.result().counts == execute(_bell(), shots=20, seed=1).counts
+
+    def test_backpressure_raises_typed_error(self):
+        service = ExecutionService(max_pending=2, dispatchers=0)
+        service.submit(_bell(), shots=1, seed=1)
+        service.submit(_bell(), shots=1, seed=1)
+        with pytest.raises(ExecutionQueueFullError):
+            service.submit(_bell(), shots=1, seed=1)
+        # Draining frees capacity again.
+        assert service.process_one()
+        job = service.submit(_bell(), shots=1, seed=1)
+        assert job.status == "queued"
+
+    def test_result_timeout_on_unprocessed_job(self):
+        service = ExecutionService(max_pending=2, dispatchers=0)
+        job = service.submit(_bell(), shots=5, seed=2)
+        with pytest.raises(ExecutionTimeoutError):
+            job.result(timeout=0.02)
+        # The job is untouched and can still be collected later.
+        assert job.status == "queued"
+        service.process_one()
+        assert job.result(timeout=1).counts.shots == 5
+
+    def test_failed_job_reraises_from_result(self):
+        service = ExecutionService(max_pending=2, dispatchers=0)
+        # Unbound parameter at *run* time: submit-time validation passes
+        # (sweep jobs defer the work), bad backend fails in the runner.
+        job = service.submit(_bell(), RunOptions(backend="no-such-backend"))
+        service.process_one()
+        assert job.status == "error"
+        with pytest.raises(Exception):
+            job.result()
+
+    def test_process_one_empty_queue_returns_false(self):
+        service = ExecutionService(dispatchers=0)
+        assert not service.process_one()
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ExecutionError):
+            ExecutionService(max_pending=0)
+        with pytest.raises(ExecutionError):
+            ExecutionService(dispatchers=-1)
+
+    def test_submit_validates_eagerly(self):
+        service = ExecutionService(dispatchers=0)
+        with pytest.raises(ExecutionError):
+            service.submit([])  # empty batch fails in the caller, not async
+
+
+class TestDispatchedService:
+    def test_background_dispatch_completes(self):
+        with ExecutionService(max_pending=8, dispatchers=2) as service:
+            jobs = [
+                service.submit(_bell(), shots=30, seed=seed)
+                for seed in range(4)
+            ]
+            results = [job.result(timeout=30) for job in jobs]
+        for seed, result in enumerate(results):
+            expected = execute(_bell(), shots=30, seed=seed)
+            assert result.counts == expected.counts
+
+    def test_async_matches_sync_with_parallel_options(self):
+        with ExecutionService(dispatchers=1) as service:
+            job = service.submit(
+                [_bell(), Circuit(3).h(0).cx(0, 1).cx(1, 2)],
+                shots=100,
+                seed=6,
+                max_workers=2,
+            )
+            batch = job.result(timeout=60)
+        expected = execute(
+            [_bell(), Circuit(3).h(0).cx(0, 1).cx(1, 2)], shots=100, seed=6
+        )
+        for a, b in zip(batch, expected):
+            assert a.counts == b.counts
+
+    def test_shutdown_rejects_new_submissions(self):
+        service = ExecutionService(dispatchers=1)
+        service.shutdown()
+        with pytest.raises(ExecutionError):
+            service.submit(_bell(), shots=1)
+
+    def test_many_waiters_on_one_job(self):
+        with ExecutionService(dispatchers=1) as service:
+            job = service.submit(_bell(), shots=40, seed=8)
+            collected = []
+
+            def wait():
+                collected.append(job.result(timeout=30).counts)
+
+            threads = [threading.Thread(target=wait) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert len(collected) == 3
+        assert collected[0] == collected[1] == collected[2]
+
+
+class TestDefaultService:
+    def test_execute_async_uses_default_service(self):
+        job = execute_async(_bell(), shots=25, seed=3)
+        result = job.result(timeout=30)
+        assert result.counts == execute(_bell(), shots=25, seed=3).counts
+
+    def test_explicit_service_override(self):
+        service = ExecutionService(dispatchers=0)
+        job = execute_async(_bell(), shots=5, seed=1, service=service)
+        assert job.status == "queued"
+        service.process_one()
+        assert job.result().counts.shots == 5
+
+    def test_configure_default_service_replaces(self):
+        replacement = configure_default_service(max_pending=3, dispatchers=1)
+        try:
+            job = execute_async(_bell(), shots=10, seed=2)
+            assert job.result(timeout=30).counts.shots == 10
+            assert replacement.max_pending == 3
+        finally:
+            configure_default_service()  # restore defaults for other tests
+
+    def test_sync_job_ignores_timeout_and_runs_inline(self):
+        from repro.execution import submit
+
+        job = submit(_bell(), shots=15, seed=4)
+        assert job.status == "created"
+        result = job.result(timeout=0.0)  # inline: timeout is ignored
+        assert job.status == "done"
+        assert result.counts.shots == 15

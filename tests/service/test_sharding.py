@@ -1,0 +1,112 @@
+"""Tests for deterministic shard arithmetic (sizes, seeds, merges)."""
+
+import pytest
+
+from repro import Counts
+from repro.service.sharding import (
+    effective_shard_count,
+    merge_counts,
+    merge_memory,
+    shard_seeds,
+    shard_sizes,
+)
+from repro.utils.exceptions import ExecutionError, SimulationError
+from repro.utils.rng import derive_seed
+
+
+class TestShardSizes:
+    @pytest.mark.parametrize(
+        "total,num_shards",
+        [(0, 1), (1, 1), (10, 3), (10, 10), (1000, 7), (5, 2)],
+    )
+    def test_sizes_sum_to_total(self, total, num_shards):
+        sizes = shard_sizes(total, num_shards)
+        assert len(sizes) == num_shards
+        assert sum(sizes) == total
+
+    def test_remainder_goes_to_leading_shards(self):
+        assert shard_sizes(10, 3) == [4, 3, 3]
+        assert shard_sizes(11, 4) == [3, 3, 3, 2]
+
+    def test_even_split(self):
+        assert shard_sizes(12, 4) == [3, 3, 3, 3]
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ExecutionError):
+            shard_sizes(-1, 2)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ExecutionError):
+            shard_sizes(10, 0)
+
+
+class TestEffectiveShardCount:
+    def test_zero_and_one_mean_no_sharding(self):
+        assert effective_shard_count(0, 1000) == 1
+        assert effective_shard_count(1, 1000) == 1
+
+    def test_clamped_to_shots(self):
+        # No shard ever samples zero shots.
+        assert effective_shard_count(8, 3) == 3
+        assert effective_shard_count(8, 100) == 8
+
+    def test_tiny_shot_counts_stay_unsharded(self):
+        assert effective_shard_count(4, 0) == 1
+        assert effective_shard_count(4, 1) == 1
+
+
+class TestShardSeeds:
+    def test_unsharded_matches_classic_element_seed(self):
+        # k <= 1 must reproduce the pre-sharding stream bit for bit.
+        assert shard_seeds(123, 5, 1) == [derive_seed(123, 5)]
+
+    def test_sharded_seeds_are_positional(self):
+        seeds = shard_seeds(123, 5, 4)
+        assert seeds == [derive_seed(123, 5, j) for j in range(4)]
+        assert len(set(seeds)) == 4
+
+    def test_distinct_elements_get_distinct_shard_seeds(self):
+        a = shard_seeds(123, 0, 3)
+        b = shard_seeds(123, 1, 3)
+        assert not set(a) & set(b)
+
+    def test_none_seed_propagates(self):
+        assert shard_seeds(None, 0, 3) == [None, None, None]
+
+
+class TestMerges:
+    def test_merge_counts_sums_shotwise(self):
+        parts = [
+            Counts({"00": 3, "11": 1}),
+            Counts({"00": 2, "01": 4}),
+            Counts({"11": 5}),
+        ]
+        merged = merge_counts(parts)
+        assert merged == {"00": 5, "01": 4, "11": 6}
+        assert merged.shots == 15
+
+    def test_merge_counts_with_disagreeing_key_sets(self):
+        # Shards routinely observe disjoint outcomes; the merge is a
+        # union, not an intersection.
+        merged = merge_counts([Counts({"00": 1}), Counts({"11": 2})])
+        assert merged == {"00": 1, "11": 2}
+
+    def test_merge_counts_width_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            merge_counts([Counts({"00": 1}), Counts({"111": 1})])
+
+    def test_merge_counts_empty_rejected(self):
+        with pytest.raises(ExecutionError):
+            merge_counts([])
+
+    def test_merge_memory_concatenates_in_shard_order(self):
+        assert merge_memory([["00", "11"], ["01"], ["11"]]) == [
+            "00",
+            "11",
+            "01",
+            "11",
+        ]
+
+    def test_merge_memory_none_stays_none(self):
+        assert merge_memory([None, None]) is None
+        assert merge_memory([]) is None
