@@ -4,14 +4,17 @@ Layering (each layer depends only on the ones above it)::
 
     repro.utils        exceptions, RNG plumbing, bitstring conventions
     repro.circuit      operation-instruction IR (Gate, Channel, Parameter,
-                       Instruction, Circuit, Circuit.bind/stats)
+                       Instruction, Circuit, Circuit.bind/stats) + dynamic
+                       ops: Measure, Reset, Conditional (if_bit), clbits
     repro.gates        registry-backed standard gate library + unitary gates
     repro.noise        Kraus channel library, readout error, NoiseModel
     repro.transpile    pass-manager optimisation (fusion, cancellation)
     repro.plan         compiled ExecutionPlans: compile once, bind/run many,
-                       batched sweeps, process-wide plan cache
-    repro.sim          backend registry: statevector + density-matrix engines
-                       executing plans through one shared loop
+                       batched sweeps, process-wide plan cache; dynamic ops
+                       lower to MeasureOp/ResetOp/ConditionalOp
+    repro.sim          backend registry: statevector + density-matrix +
+                       Monte-Carlo trajectory engines executing plans
+                       through one shared loop
     repro.sampling     shot sampling -> Counts (any backend, readout noise)
     repro.observables  Pauli / PauliSum observables, (batched) expectations
     repro.execution    execute() front door: RunOptions, Job, Result/BatchResult
@@ -24,7 +27,17 @@ may move between PRs.
 """
 
 from repro.bench import run_suite
-from repro.circuit import Channel, Circuit, CircuitStats, Gate, Instruction, Parameter
+from repro.circuit import (
+    Channel,
+    Circuit,
+    CircuitStats,
+    Conditional,
+    Gate,
+    Instruction,
+    Measure,
+    Parameter,
+    Reset,
+)
 from repro.execution import BatchResult, Job, Result, RunOptions, execute, submit
 from repro.gates import (
     available_gates,
@@ -64,6 +77,7 @@ from repro.sim import (
     DensityMatrixBackend,
     Statevector,
     StatevectorBackend,
+    TrajectoryBackend,
     available_backends,
     get_backend,
     register_backend,
@@ -106,7 +120,7 @@ from repro.utils import (
     spawn_seeds,
 )
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"
 
 __all__ = [
     "__version__",
@@ -114,9 +128,12 @@ __all__ = [
     "Channel",
     "Circuit",
     "CircuitStats",
+    "Conditional",
     "Gate",
     "Instruction",
+    "Measure",
     "Parameter",
+    "Reset",
     # gate library
     "available_gates",
     "gate_arity",
@@ -146,6 +163,7 @@ __all__ = [
     "DensityMatrixBackend",
     "Statevector",
     "StatevectorBackend",
+    "TrajectoryBackend",
     "available_backends",
     "get_backend",
     "register_backend",

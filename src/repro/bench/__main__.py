@@ -1,17 +1,21 @@
 """CLI for the benchmark suite: ``python -m repro.bench [--json] [--smoke]``.
 
-Prints a human-readable table by default, the schema-5 JSON report with
+Prints a human-readable table by default, the schema-6 JSON report with
 ``--json``; ``--sweep`` adds the batched parameter-sweep benchmark run
-through ``repro.execute``, and ``--parallel`` adds the parallel
-execution service legs (per-element sweep + sharded shots, serial vs.
-``--workers`` processes).  Exits non-zero if any workload's fused
-execution fails the seeded counts/expectation-equivalence checks, if
-run() and precompiled-plan execution diverge, if the sweep is not
-reproducible, transpiles more than once, drifts between batched and
-per-element execution, or runs *slower* batched than per-element, or if
-any parallel parity boolean fails — CI treats all of those as
-regressions.  Parallel *speedup* is only gated when the host reports at
-least two CPUs (a 1-CPU runner cannot be expected to go faster).
+through ``repro.execute``, ``--parallel`` adds the parallel execution
+service legs (per-element sweep + sharded shots, serial vs.
+``--workers`` processes), and ``--trajectory`` adds the Monte-Carlo
+trajectory backend vs. exact density-matrix evolution on the noisy
+workload families.  Exits non-zero if any workload's fused execution
+fails the seeded counts/expectation-equivalence checks, if run() and
+precompiled-plan execution diverge, if the sweep is not reproducible,
+transpiles more than once, drifts between batched and per-element
+execution, or runs *slower* batched than per-element, if any parallel
+parity boolean fails, or if a trajectory estimate falls outside five
+standard errors of the exact density expectation — CI treats all of
+those as regressions.  Parallel *speedup* is only gated when the host
+reports at least two CPUs (a 1-CPU runner cannot be expected to go
+faster); the trajectory speedup column is reported but never gated.
 """
 
 from __future__ import annotations
@@ -75,6 +79,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=2,
         help="worker processes for the --parallel legs (default 2)",
     )
+    parser.add_argument(
+        "--trajectory",
+        action="store_true",
+        help="also benchmark the Monte-Carlo trajectory backend against "
+        "exact density-matrix evolution on the noisy workloads",
+    )
     parser.add_argument("--shots", type=int, default=1024, help="shots for the counts check")
     parser.add_argument("--seed", type=int, default=1234, help="sampling seed")
     parser.add_argument(
@@ -106,6 +116,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sweep=args.sweep,
             parallel=args.parallel,
             workers=args.workers,
+            trajectory=args.trajectory,
         )
     except SimulationError as exc:
         # E.g. --backend density_matrix at full statevector sizes: the
@@ -151,6 +162,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"{parallel['workers']} workers "
                     f"{leg['run_time_parallel_s']:.2g}s ({speedup_cell}), "
                     f"parity: {'ok' if parity_ok else 'FAIL'}"
+                )
+        trajectory = report["trajectory"]
+        if trajectory is not None:
+            for row in trajectory["workloads"]:
+                speedup = row["trajectory_speedup"]
+                speedup_cell = f"{speedup:.2f}x" if speedup is not None else "n/a"
+                print(
+                    f"trajectory: {row['name']}, density "
+                    f"{row['run_time_density_s']:.2g}s vs "
+                    f"{trajectory['trajectories']} trajectories "
+                    f"{row['run_time_trajectory_s']:.2g}s ({speedup_cell}), "
+                    f"<Z0> {row['expectation_trajectory']:.4f} vs exact "
+                    f"{row['expectation_density']:.4f} "
+                    f"(sigma {row['std_error']:.2g}), agreement: "
+                    f"{'ok' if row['agreement'] else 'FAIL'}"
                 )
 
     failed = False
@@ -246,6 +272,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         file=sys.stderr,
                     )
                     failed = True
+    trajectory = report["trajectory"]
+    if trajectory is not None:
+        disagreeing = [
+            row["name"]
+            for row in trajectory["workloads"]
+            if not row["agreement"]
+        ]
+        if disagreeing:
+            print(
+                "trajectory expectations outside 5 sigma of exact density "
+                f"evolution: {', '.join(disagreeing)}",
+                file=sys.stderr,
+            )
+            failed = True
     return 1 if failed else 0
 
 

@@ -1,17 +1,18 @@
 """The bench driver: time each workload unfused vs. transpiled vs. planned.
 
-Report schema (``schema_version`` 5) — stable from this PR onward so CI
+Report schema (``schema_version`` 6) — stable from this PR onward so CI
 artifacts stay comparable across commits::
 
     {
-      "schema_version": 5,
+      "schema_version": 6,
       "config": {"smoke": bool, "shots": int, "seed": int,
                  "repeats": int, "max_fused_width": int,
                  "backend": str,
                  "noise_model": str | null,   # suite-wide model label
                  "sweep": bool,               # was --sweep requested
                  "parallel": bool,            # was --parallel requested
-                 "workers": int},             # --workers value
+                 "workers": int,              # --workers value
+                 "trajectory": bool},         # was --trajectory requested
       "workloads": [
         {
           "name": str, "num_qubits": int,
@@ -70,6 +71,21 @@ artifacts stay comparable across commits::
           "counts_match": bool,           # sharded serial == sharded pool
           "unsharded_matches_shard1": bool  # shard_shots=1 == plain path
         }
+      },
+      "trajectory": null | {           # present (non-null) with --trajectory
+        "trajectories": int,           # Monte-Carlo shots per workload
+        "workloads": [                 # noisy density-cap-sized workloads
+          {
+            "name": str, "num_qubits": int,
+            "expectation_density": float,     # exact <Z_0>, one density run
+            "expectation_trajectory": float,  # trajectory-averaged <Z_0>
+            "std_error": float,               # standard error of the mean
+            "agreement": bool,     # |diff| <= 5 * max(std_error, floor)
+            "run_time_density_s": float,      # exact mixed-state evolution
+            "run_time_trajectory_s": float,   # all trajectories, serial
+            "trajectory_speedup": float | null  # density / trajectory
+          }, ...
+        ]
       }
     }
 
@@ -81,7 +97,9 @@ predates compiled execution plans — no ``plan_compile_ms`` /
 workload timings measured through ``run()`` (which now compiles), so
 compile cost leaked into the headline numbers; version 4 predates the
 parallel execution service — no ``parallel`` section and no
-``parallel``/``workers`` config keys.
+``parallel``/``workers`` config keys; version 5 predates the
+Monte-Carlo trajectory backend — no ``trajectory`` section and no
+``trajectory`` config key.
 
 Counts and expectation values are produced through the unified
 :func:`repro.execute` front door, so the harness exercises exactly the
@@ -114,7 +132,7 @@ from repro.sim import get_backend
 from repro.transpile import Pass, transpile
 from repro.utils.exceptions import SimulationError
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 # Mixed-state cost is O(4**n) memory *per contraction temporary*: n = 12
 # is already ~270 MB a copy (minutes of bench wall-time), n = 16 would be
@@ -458,6 +476,78 @@ def _bench_parallel(
     }
 
 
+#: Agreement-gate floor for the trajectory-vs-density check: a noiseless
+#: observable can have zero sampling variance, and gating on 5 * 0 would
+#: demand exact float equality between two different algorithms.
+_TRAJECTORY_STD_FLOOR = 1e-3
+
+
+def _bench_trajectory(smoke: bool, seed: int, repeats: int) -> Dict[str, object]:
+    """Benchmark Monte-Carlo trajectories against exact density evolution.
+
+    Runs the two noisy workload families at the density width cap —
+    exactly where the O(4**n) mixed-state representation hurts most and
+    the O(2**n)-per-trajectory unraveling is supposed to win — and
+    checks statistical agreement: the trajectory estimate of ``<Z_0>``
+    must land within five standard errors of the exact density value
+    (with a small floor so a zero-variance observable cannot demand
+    float equality).  CI gates on ``agreement``, not on the speedup —
+    wall-clock is host-dependent, the estimator contract is not.
+    """
+    from repro.bench.workloads import ghz_depolarizing, layered_damped
+
+    num_qubits = DENSITY_WIDTH_CAP
+    trajectories = 128 if smoke else 256
+    layers = 2 if smoke else 4
+    observable = Pauli("Z", qubits=(0,))
+    rows: List[Dict[str, object]] = []
+    for circuit in (
+        ghz_depolarizing(num_qubits),
+        layered_damped(num_qubits, layers=layers),
+    ):
+
+        def run_density():
+            return execute(
+                circuit, backend="density_matrix", observables=(observable,)
+            )
+
+        def run_trajectory():
+            return execute(
+                circuit,
+                backend="trajectory",
+                shots=trajectories,
+                seed=seed,
+                observables=(observable,),
+            )
+
+        density = run_density()
+        trajectory = run_trajectory()
+        density_s = _best_time(run_density, repeats)
+        trajectory_s = _best_time(run_trajectory, repeats)
+        exact = density.expectation_values[0]
+        estimate = trajectory.expectation_values[0]
+        std_error = trajectory.metadata["expectation_std"][0]
+        rows.append(
+            {
+                "name": circuit.name,
+                "num_qubits": num_qubits,
+                "expectation_density": exact,
+                "expectation_trajectory": estimate,
+                "std_error": std_error,
+                "agreement": bool(
+                    abs(estimate - exact)
+                    <= 5 * max(std_error, _TRAJECTORY_STD_FLOOR)
+                ),
+                "run_time_density_s": density_s,
+                "run_time_trajectory_s": trajectory_s,
+                "trajectory_speedup": (
+                    density_s / trajectory_s if trajectory_s > 0 else None
+                ),
+            }
+        )
+    return {"trajectories": trajectories, "workloads": rows}
+
+
 def run_suite(
     workloads: Optional[Sequence[Workload]] = None,
     smoke: bool = False,
@@ -470,8 +560,9 @@ def run_suite(
     sweep: bool = False,
     parallel: bool = False,
     workers: int = 2,
+    trajectory: bool = False,
 ) -> Dict[str, object]:
-    """Run the benchmark suite and return the schema-5 report dict.
+    """Run the benchmark suite and return the schema-6 report dict.
 
     Parameters
     ----------
@@ -520,6 +611,11 @@ def run_suite(
         ``parallel`` is set).  Speedup columns only mean something when
         the host has at least that many cores — the report records
         ``cpu_count`` so consumers can tell.
+    trajectory:
+        Also benchmark the Monte-Carlo trajectory backend against exact
+        density-matrix evolution on the noisy workload families at the
+        density width cap (see :func:`_bench_trajectory`); the report's
+        top-level ``"trajectory"`` entry is ``null`` otherwise.
     """
     if repeats is None:
         repeats = 1 if smoke else 3
@@ -591,6 +687,7 @@ def run_suite(
             "sweep": bool(sweep),
             "parallel": bool(parallel),
             "workers": int(workers),
+            "trajectory": bool(trajectory),
         },
         "workloads": results,
         "sweep": (
@@ -598,5 +695,8 @@ def run_suite(
         ),
         "parallel": (
             _bench_parallel(smoke, seed, repeats, workers) if parallel else None
+        ),
+        "trajectory": (
+            _bench_trajectory(smoke, seed, repeats) if trajectory else None
         ),
     }

@@ -5,11 +5,14 @@ bundles a name, parameter tuple, and unitary matrix; a :class:`Channel`
 bundles a name, parameter tuple, and Kraus-operator set (a CPTP map); an
 :class:`Instruction` binds either operation to concrete qubit indices; a
 :class:`Circuit` is an ordered instruction list over a fixed-width qubit
-register.  Simulators, transpiler passes, and samplers all consume this IR
-and nothing else.
+register.  Dynamic circuits add three more leaves — :class:`Measure`,
+:class:`Reset`, and the :class:`Conditional` classical-control wrapper —
+plus a classical-bit register tracked on the circuit.  Simulators,
+transpiler passes, and samplers all consume this IR and nothing else.
 """
 
 from repro.circuit.channel import Channel
+from repro.circuit.dynamic import Conditional, Measure, Reset
 from repro.circuit.gate import Gate
 from repro.circuit.instruction import Instruction, Operation
 from repro.circuit.parameter import Parameter
@@ -19,8 +22,11 @@ __all__ = [
     "Channel",
     "Circuit",
     "CircuitStats",
+    "Conditional",
     "Gate",
     "Instruction",
+    "Measure",
     "Operation",
     "Parameter",
+    "Reset",
 ]

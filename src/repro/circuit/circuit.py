@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.circuit.channel import Channel
+from repro.circuit.dynamic import Conditional, Measure, Reset, clbits_used
 from repro.circuit.instruction import Instruction, Operation
 from repro.circuit.parameter import Parameter
 from repro.utils.exceptions import CircuitError
@@ -43,6 +44,10 @@ class CircuitStats:
         "num_parametric",
         "num_parameters",
         "num_channels",
+        "num_clbits",
+        "num_measurements",
+        "num_resets",
+        "num_conditionals",
     )
 
     def __init__(
@@ -54,6 +59,10 @@ class CircuitStats:
         num_parametric: int,
         num_parameters: int,
         num_channels: int,
+        num_clbits: int = 0,
+        num_measurements: int = 0,
+        num_resets: int = 0,
+        num_conditionals: int = 0,
     ) -> None:
         from types import MappingProxyType
 
@@ -67,6 +76,10 @@ class CircuitStats:
         object.__setattr__(self, "num_parametric", int(num_parametric))
         object.__setattr__(self, "num_parameters", int(num_parameters))
         object.__setattr__(self, "num_channels", int(num_channels))
+        object.__setattr__(self, "num_clbits", int(num_clbits))
+        object.__setattr__(self, "num_measurements", int(num_measurements))
+        object.__setattr__(self, "num_resets", int(num_resets))
+        object.__setattr__(self, "num_conditionals", int(num_conditionals))
 
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("CircuitStats is immutable")
@@ -85,8 +98,17 @@ class CircuitStats:
                 self.num_parametric,
                 self.num_parameters,
                 self.num_channels,
+                self.num_clbits,
+                self.num_measurements,
+                self.num_resets,
+                self.num_conditionals,
             ),
         )
+
+    @property
+    def num_dynamic(self) -> int:
+        """Total dynamic instructions (measure + reset + conditional)."""
+        return self.num_measurements + self.num_resets + self.num_conditionals
 
     def key(self) -> tuple:
         """A hashable tuple identifying this structural snapshot."""
@@ -98,6 +120,10 @@ class CircuitStats:
             self.num_parametric,
             self.num_parameters,
             self.num_channels,
+            self.num_clbits,
+            self.num_measurements,
+            self.num_resets,
+            self.num_conditionals,
         )
 
     def as_dict(self) -> dict:
@@ -110,6 +136,10 @@ class CircuitStats:
             "num_parametric": self.num_parametric,
             "num_parameters": self.num_parameters,
             "num_channels": self.num_channels,
+            "num_clbits": self.num_clbits,
+            "num_measurements": self.num_measurements,
+            "num_resets": self.num_resets,
+            "num_conditionals": self.num_conditionals,
         }
 
     def __eq__(self, other: object) -> bool:
@@ -121,24 +151,34 @@ class CircuitStats:
         return hash(self.key())
 
     def __repr__(self) -> str:
+        dynamic = f", {self.num_dynamic} dynamic" if self.num_dynamic else ""
         return (
             f"CircuitStats({self.num_qubits} qubits, "
             f"{self.num_instructions} instructions, depth {self.depth}, "
-            f"{self.num_parametric} parametric, {self.num_channels} channels)"
+            f"{self.num_parametric} parametric, {self.num_channels} channels"
+            f"{dynamic})"
         )
 
 
 class Circuit:
     """An ordered gate-instruction list over a fixed-width qubit register."""
 
-    __slots__ = ("_num_qubits", "_name", "_instructions")
+    __slots__ = ("_num_qubits", "_name", "_instructions", "_num_clbits")
 
-    def __init__(self, num_qubits: int, name: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        num_qubits: int,
+        name: Optional[str] = None,
+        num_clbits: int = 0,
+    ) -> None:
         if num_qubits < 1:
             raise CircuitError(f"circuit needs >= 1 qubit, got {num_qubits}")
+        if num_clbits < 0:
+            raise CircuitError(f"circuit needs >= 0 clbits, got {num_clbits}")
         self._num_qubits = int(num_qubits)
         self._name = name
         self._instructions: List[Instruction] = []
+        self._num_clbits = int(num_clbits)
 
     # ------------------------------------------------------------------
     # basic properties
@@ -146,6 +186,15 @@ class Circuit:
     @property
     def num_qubits(self) -> int:
         return self._num_qubits
+
+    @property
+    def num_clbits(self) -> int:
+        """Width of the classical register.
+
+        Grows automatically as ``measure``/``if_bit`` reference higher
+        clbit indices; may be preallocated wider via the constructor.
+        """
+        return self._num_clbits
 
     @property
     def name(self) -> Optional[str]:
@@ -169,6 +218,7 @@ class Circuit:
             return NotImplemented
         return (
             self._num_qubits == other._num_qubits
+            and self._num_clbits == other._num_clbits
             and self._instructions == other._instructions
         )
 
@@ -183,10 +233,11 @@ class Circuit:
     # construction
     # ------------------------------------------------------------------
     def append(self, operation: Operation, qubits: Sequence[int]) -> "Circuit":
-        """Append a :class:`Gate` or :class:`Channel` on ``qubits``.
+        """Append an operation (gate/channel/dynamic leaf) on ``qubits``.
 
         Validates indices against the register; returns ``self`` so calls
-        can be chained.
+        can be chained.  Dynamic operations referencing a clbit beyond the
+        current classical register widen it.
         """
         instruction = Instruction(operation, qubits)
         out_of_range = [q for q in instruction.qubits if q >= self._num_qubits]
@@ -196,6 +247,7 @@ class Circuit:
                 f"{self._num_qubits}-qubit circuit"
             )
         self._instructions.append(instruction)
+        self._num_clbits = max(self._num_clbits, clbits_used(operation))
         return self
 
     def extend(self, instructions: Sequence[Instruction]) -> "Circuit":
@@ -204,7 +256,11 @@ class Circuit:
         return self
 
     def copy(self, name: Optional[str] = None) -> "Circuit":
-        out = Circuit(self._num_qubits, name if name is not None else self._name)
+        out = Circuit(
+            self._num_qubits,
+            name if name is not None else self._name,
+            num_clbits=self._num_clbits,
+        )
         out._instructions = list(self._instructions)
         return out
 
@@ -235,6 +291,9 @@ class Circuit:
             if len(set(mapping)) != len(mapping):
                 raise CircuitError(f"duplicate qubits in mapping: {mapping}")
         out = self.copy()
+        # Clbit indices are global (there is one classical register), so
+        # composition keeps them verbatim; only the qubits remap.
+        out._num_clbits = max(out._num_clbits, other._num_clbits)
         for instruction in other:
             out.append(
                 instruction.operation, tuple(mapping[q] for q in instruction.qubits)
@@ -252,7 +311,7 @@ class Circuit:
     def remapped(self, mapping: Sequence[int], num_qubits: Optional[int] = None) -> "Circuit":
         """Relabel qubits: instruction qubit ``q`` becomes ``mapping[q]``."""
         width = num_qubits if num_qubits is not None else self._num_qubits
-        out = Circuit(width, self._name)
+        out = Circuit(width, self._name, num_clbits=self._num_clbits)
         for instruction in self._instructions:
             moved = instruction.remapped(mapping)
             out.append(moved.operation, moved.qubits)
@@ -284,6 +343,10 @@ class Circuit:
         """Whether any instruction is a :class:`Channel` application."""
         return any(instruction.is_channel for instruction in self._instructions)
 
+    def has_dynamic_ops(self) -> bool:
+        """Whether any instruction is a measure/reset/if_bit application."""
+        return any(instruction.is_dynamic for instruction in self._instructions)
+
     def stats(self) -> CircuitStats:
         """One-pass structural snapshot: counts, depth, composition.
 
@@ -294,12 +357,21 @@ class Circuit:
         gate_counts: Dict[str, int] = {}
         num_parametric = 0
         num_channels = 0
+        num_measurements = 0
+        num_resets = 0
+        num_conditionals = 0
         symbols: Dict[Parameter, None] = {}
         for instruction in self._instructions:
             name = instruction.operation.name
             gate_counts[name] = gate_counts.get(name, 0) + 1
             if instruction.is_channel:
                 num_channels += 1
+            elif instruction.is_measure:
+                num_measurements += 1
+            elif instruction.is_reset:
+                num_resets += 1
+            elif instruction.is_conditional:
+                num_conditionals += 1
             elif instruction.is_parametric:
                 num_parametric += 1
                 for parameter in instruction.operation.parameters:
@@ -312,6 +384,10 @@ class Circuit:
             num_parametric=num_parametric,
             num_parameters=len(symbols),
             num_channels=num_channels,
+            num_clbits=self._num_clbits,
+            num_measurements=num_measurements,
+            num_resets=num_resets,
+            num_conditionals=num_conditionals,
         )
 
     def parameters(self) -> Tuple[Parameter, ...]:
@@ -352,7 +428,7 @@ class Circuit:
             (parameter.name for parameter in self.parameters()),
             CircuitError,
         )
-        out = Circuit(self._num_qubits, self._name)
+        out = Circuit(self._num_qubits, self._name, num_clbits=self._num_clbits)
         for instruction in self._instructions:
             operation = instruction.operation
             if instruction.is_parametric:
@@ -432,6 +508,41 @@ class Circuit:
                 f"expected a Channel, got {type(channel).__name__}"
             )
         return self.append(channel, tuple(qubits))
+
+    # ------------------------------------------------------------------
+    # dynamic operations (mid-circuit measurement & classical control)
+    # ------------------------------------------------------------------
+    def measure(self, qubit: int, clbit: int) -> "Circuit":
+        """Measure ``qubit`` in the Z basis into classical bit ``clbit``.
+
+        Widens the classical register to ``clbit + 1`` if needed.  A
+        circuit containing measurements samples its *clbit* register —
+        ``execute(..., shots=N)`` returns counts/memory over clbit
+        strings, not terminal qubit bitstrings.
+        """
+        return self.append(Measure(clbit), (qubit,))
+
+    def reset(self, qubit: int) -> "Circuit":
+        """Re-initialise ``qubit`` to ``|0>`` (measure-and-flip, outcome
+        discarded)."""
+        return self.append(Reset(), (qubit,))
+
+    def if_bit(self, clbit: int, value: int, instruction: Instruction) -> "Circuit":
+        """Apply ``instruction`` only when ``clbit`` reads ``value``.
+
+        ``instruction`` is an :class:`Instruction` wrapping a concrete
+        (non-parametric) :class:`Gate`, e.g.
+        ``Instruction(get_gate("x"), (2,))``.  The classical branch
+        resolves per shot/trajectory at execution time.
+        """
+        if not isinstance(instruction, Instruction):
+            raise CircuitError(
+                f"if_bit expects an Instruction, got "
+                f"{type(instruction).__name__}"
+            )
+        return self.append(
+            Conditional(clbit, value, instruction.operation), instruction.qubits
+        )
 
     def cx(self, control: int, target: int) -> "Circuit":
         return self._append_std("cx", (control, target))

@@ -1,0 +1,165 @@
+"""Dynamic-circuit leaves of the IR: measure, reset, and classical control.
+
+Static circuits are closed quantum evolutions; these three operations
+open them up to the classical world:
+
+* :class:`Measure` — projective Z-basis measurement of one qubit, with
+  the outcome recorded into a classical bit (*clbit*) of the circuit's
+  classical register.
+* :class:`Reset` — non-unitary re-initialisation of one qubit to
+  ``|0>`` (measure-and-flip, outcome discarded).
+* :class:`Conditional` — a wrapper applying a bound :class:`Gate` only
+  when a clbit holds a given value (``if_bit`` in builder spelling).
+
+All three are immutable value objects like :class:`~repro.circuit.Gate`
+and :class:`~repro.circuit.Channel`: hashable and comparable so the plan
+cache can key on circuits containing them.  None of them is invertible,
+and all of them act as barriers for the transpiler passes (like
+channels): a rewrite must never commute a unitary across a collapse or a
+classically controlled branch.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gate import Gate
+from repro.utils.exceptions import CircuitError
+
+
+def _as_clbit(clbit) -> int:
+    if isinstance(clbit, bool) or not isinstance(clbit, int):
+        raise CircuitError(
+            f"clbit index must be an int, got {type(clbit).__name__}"
+        )
+    if clbit < 0:
+        raise CircuitError(f"clbit index must be non-negative, got {clbit}")
+    return int(clbit)
+
+
+class Measure:
+    """Projective Z-basis measurement of one qubit into clbit ``clbit``."""
+
+    __slots__ = ("_clbit",)
+
+    num_qubits = 1
+    name = "measure"
+
+    def __init__(self, clbit: int) -> None:
+        self._clbit = _as_clbit(clbit)
+
+    @property
+    def clbit(self) -> int:
+        """Index of the classical bit receiving the outcome."""
+        return self._clbit
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Measure):
+            return NotImplemented
+        return self._clbit == other._clbit
+
+    def __hash__(self) -> int:
+        return hash((Measure, self._clbit))
+
+    def __repr__(self) -> str:
+        return f"Measure(clbit={self._clbit})"
+
+
+class Reset:
+    """Re-initialise one qubit to ``|0>`` (projective measure, flip on 1)."""
+
+    __slots__ = ()
+
+    num_qubits = 1
+    name = "reset"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Reset):
+            return NotImplemented
+        return True
+
+    def __hash__(self) -> int:
+        return hash(Reset)
+
+    def __repr__(self) -> str:
+        return "Reset()"
+
+
+class Conditional:
+    """A bound :class:`Gate` applied only when ``clbit`` reads ``value``.
+
+    The wrapped gate must be concrete (non-parametric): a classically
+    controlled branch resolves at execution time, after every sweep
+    binding has already happened, so deferring *both* the matrix and the
+    branch would make plan binding ambiguous.  Channels cannot be
+    wrapped — classical control of noise is not a circuit-level concept
+    in this IR.
+    """
+
+    __slots__ = ("_clbit", "_value", "_operation")
+
+    def __init__(self, clbit: int, value: int, operation: Gate) -> None:
+        self._clbit = _as_clbit(clbit)
+        if value not in (0, 1):
+            raise CircuitError(f"clbit condition value must be 0 or 1, got {value!r}")
+        if not isinstance(operation, Gate):
+            raise CircuitError(
+                "if_bit wraps a Gate, got "
+                f"{type(operation).__name__}"
+            )
+        if operation.is_parametric:
+            raise CircuitError(
+                f"cannot classically control parametric gate "
+                f"{operation.name!r}; bind its parameters first"
+            )
+        self._value = int(value)
+        self._operation = operation
+
+    @property
+    def clbit(self) -> int:
+        """Index of the classical bit the branch reads."""
+        return self._clbit
+
+    @property
+    def value(self) -> int:
+        """The clbit value (0 or 1) that triggers the wrapped gate."""
+        return self._value
+
+    @property
+    def operation(self) -> Gate:
+        """The wrapped concrete :class:`Gate`."""
+        return self._operation
+
+    @property
+    def num_qubits(self) -> int:
+        return self._operation.num_qubits
+
+    @property
+    def name(self) -> str:
+        return f"if[{self._operation.name}]"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Conditional):
+            return NotImplemented
+        return (
+            self._clbit == other._clbit
+            and self._value == other._value
+            and self._operation == other._operation
+        )
+
+    def __hash__(self) -> int:
+        return hash((Conditional, self._clbit, self._value, self._operation))
+
+    def __repr__(self) -> str:
+        return (
+            f"Conditional(clbit={self._clbit}, value={self._value}, "
+            f"{self._operation!r})"
+        )
+
+
+DynamicOperation = (Measure, Reset, Conditional)
+
+
+def clbits_used(operation) -> int:
+    """Classical-register width implied by ``operation`` (0 for static ops)."""
+    if isinstance(operation, (Measure, Conditional)):
+        return operation.clbit + 1
+    return 0

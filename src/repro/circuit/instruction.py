@@ -5,27 +5,30 @@ from __future__ import annotations
 from typing import Sequence, Tuple, Union
 
 from repro.circuit.channel import Channel
+from repro.circuit.dynamic import Conditional, Measure, Reset
 from repro.circuit.gate import Gate
 from repro.utils.exceptions import CircuitError
 
-Operation = Union[Gate, Channel]
+Operation = Union[Gate, Channel, Measure, Reset, Conditional]
 
 
 class Instruction:
     """An immutable application of an operation to concrete qubit indices.
 
-    The operation is either a :class:`Gate` (unitary) or a :class:`Channel`
-    (CPTP map in Kraus form).  Qubit order matters: ``qubits[0]`` is the
-    operation's most significant qubit (e.g. the control for CX built with
-    the standard library).
+    The operation is a :class:`Gate` (unitary), a :class:`Channel` (CPTP
+    map in Kraus form), or one of the dynamic-circuit leaves —
+    :class:`Measure`, :class:`Reset`, :class:`Conditional`.  Qubit order
+    matters: ``qubits[0]`` is the operation's most significant qubit
+    (e.g. the control for CX built with the standard library).
     """
 
     __slots__ = ("_operation", "_qubits")
 
     def __init__(self, operation: Operation, qubits: Sequence[int]) -> None:
-        if not isinstance(operation, (Gate, Channel)):
+        if not isinstance(operation, (Gate, Channel, Measure, Reset, Conditional)):
             raise CircuitError(
-                f"expected a Gate or Channel, got {type(operation).__name__}"
+                f"expected a Gate, Channel, Measure, Reset or Conditional, "
+                f"got {type(operation).__name__}"
             )
         qubits = tuple(int(q) for q in qubits)
         if len(qubits) != operation.num_qubits:
@@ -47,12 +50,12 @@ class Instruction:
 
     @property
     def gate(self) -> Gate:
-        """The bound :class:`Gate`; raises for channel instructions so
-        unitary-only consumers fail loudly instead of mis-simulating."""
+        """The bound :class:`Gate`; raises for channel/dynamic instructions
+        so unitary-only consumers fail loudly instead of mis-simulating."""
         if not isinstance(self._operation, Gate):
             raise CircuitError(
-                f"instruction holds channel {self._operation.name!r}, not a "
-                "gate; check is_channel (or use a density-matrix backend)"
+                f"instruction holds {self._operation.name!r}, not a gate; "
+                "check is_channel/is_dynamic before asking for one"
             )
         return self._operation
 
@@ -60,6 +63,23 @@ class Instruction:
     def is_channel(self) -> bool:
         """Whether the bound operation is a :class:`Channel`."""
         return isinstance(self._operation, Channel)
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Whether the operation is a dynamic leaf (measure/reset/if_bit)."""
+        return isinstance(self._operation, (Measure, Reset, Conditional))
+
+    @property
+    def is_measure(self) -> bool:
+        return isinstance(self._operation, Measure)
+
+    @property
+    def is_reset(self) -> bool:
+        return isinstance(self._operation, Reset)
+
+    @property
+    def is_conditional(self) -> bool:
+        return isinstance(self._operation, Conditional)
 
     @property
     def is_parametric(self) -> bool:
@@ -75,6 +95,12 @@ class Instruction:
             raise CircuitError(
                 f"channel {self._operation.name!r} is not invertible; "
                 "circuits containing channels have no inverse"
+            )
+        if self.is_dynamic:
+            raise CircuitError(
+                f"dynamic operation {self._operation.name!r} is not "
+                "invertible; circuits containing measure/reset/if_bit have "
+                "no inverse"
             )
         return Instruction(self._operation.inverse(), self._qubits)
 

@@ -27,6 +27,8 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
+import numpy as np
+
 from repro.circuit import Circuit, Parameter
 from repro.execution.job import BatchResult, Job, Result
 from repro.execution.options import RunOptions
@@ -38,6 +40,7 @@ from repro.sampling.sampler import (
     readout_probabilities,
 )
 from repro.sim.registry import get_backend
+from repro.utils.bitstrings import bitstring_to_index, index_to_bitstring
 from repro.utils.exceptions import ExecutionError
 from repro.utils.rng import derive_seed, ensure_rng
 
@@ -98,8 +101,10 @@ def sample_shard(probs, shots: int, seed: Optional[int], num_qubits: int, memory
     return counts_from_probabilities(probs, shots, rng, num_qubits), None
 
 
-def _sample(state, options: RunOptions, element_index: int, workers: int = 1):
-    """Counts/memory for batch or sweep element ``element_index``.
+def _sample_probs(
+    probs, num_bits: int, options: RunOptions, element_index: int, workers: int = 1
+):
+    """Counts/memory drawn from a precomputed probability vector.
 
     With ``shard_shots`` <= 1 this is the classic single-stream sampler
     seeded by ``derive_seed(seed, i)``.  With k > 1 shards, shard ``j``
@@ -115,16 +120,15 @@ def _sample(state, options: RunOptions, element_index: int, workers: int = 1):
         shard_sizes,
     )
 
-    probs = readout_probabilities(state, options.noise_model)
     num_shards = effective_shard_count(options.shard_shots, options.shots)
     seeds = shard_seeds(options.seed, element_index, num_shards)
     if num_shards <= 1:
         return sample_shard(
-            probs, options.shots, seeds[0], state.num_qubits, options.memory
+            probs, options.shots, seeds[0], num_bits, options.memory
         )
     sizes = shard_sizes(options.shots, num_shards)
     tasks = [
-        (probs, size, seed, state.num_qubits, options.memory)
+        (probs, size, seed, num_bits, options.memory)
         for size, seed in zip(sizes, seeds)
     ]
     if workers > 1:
@@ -139,6 +143,16 @@ def _sample(state, options: RunOptions, element_index: int, workers: int = 1):
     )
 
 
+def _sample(state, options: RunOptions, element_index: int, workers: int = 1):
+    """Counts/memory for batch or sweep element ``element_index``.
+
+    Computes the readout distribution of ``state`` (noise-model readout
+    error applied) and delegates to :func:`_sample_probs`.
+    """
+    probs = readout_probabilities(state, options.noise_model)
+    return _sample_probs(probs, state.num_qubits, options, element_index, workers)
+
+
 def element_payload(plan, point, index: int, options: RunOptions, backend, workers: int = 1):
     """Execute one compiled element: bind (sweeps), evolve, sample, measure.
 
@@ -148,8 +162,15 @@ def element_payload(plan, point, index: int, options: RunOptions, backend, worke
     plan), which is the bitwise-parity guarantee for ``max_workers``.
     Returns a plain dict so the payload crosses process boundaries
     without dragging Result/BatchResult construction into workers.
+
+    Dynamic plans (measure/reset/if_bit, or trajectory Kraus sampling)
+    route through :func:`_dynamic_payload` — shot-resolved per-shot
+    trajectories on pure-state backends, exact branch bookkeeping on the
+    density backend.
     """
     bound = plan.bind(point) if point is not None else plan
+    if bound.has_dynamic_ops:
+        return _dynamic_payload(bound, index, options, backend, workers)
     t0 = time.perf_counter()
     state = backend.execute_plan(bound)
     run_time = time.perf_counter() - t0
@@ -171,6 +192,184 @@ def element_payload(plan, point, index: int, options: RunOptions, backend, worke
         "run_time_s": run_time,
         "sample_time_s": sample_time,
     }
+
+
+def trajectory_shard(plan, element_index: int, start: int, count: int, options, backend):
+    """Run trajectories ``[start, start + count)`` of one element.
+
+    The unit of trajectory work, mirroring :func:`sample_shard` for
+    shots: trajectory ``t`` (absolute index, whatever the shard split)
+    seeds its own stream from ``derive_seed(seed, element_index, t)``,
+    evolves one stochastic pure state, records one outcome — the clbit
+    string when the circuit measures into clbits, otherwise one terminal
+    readout draw from the same stream — and evaluates each requested
+    observable exactly on that trajectory's state.  Because every
+    per-trajectory quantity depends only on ``(seed, element_index, t)``,
+    any shard split (serial, or ``max_workers`` pool shards) merges to
+    bitwise-identical results.
+    """
+    tally: Dict[str, int] = {}
+    memory: Optional[List[str]] = [] if options.memory else None
+    values: List[List[float]] = []
+    for t in range(start, start + count):
+        rng = ensure_rng(derive_seed(options.seed, element_index, t))
+        classical: Dict[str, Any] = {}
+        state = backend.execute_plan(plan, rng=rng, classical=classical)
+        if plan.num_clbits:
+            outcome = classical["bits"]
+        else:
+            # No clbits (e.g. reset-only or pure Kraus-noise circuits):
+            # draw one terminal readout outcome from the trajectory's own
+            # stream, readout error included.
+            probs = readout_probabilities(state, options.noise_model)
+            outcome = index_to_bitstring(
+                int(rng.choice(probs.size, p=probs)), plan.num_qubits
+            )
+        tally[outcome] = tally.get(outcome, 0) + 1
+        if memory is not None:
+            memory.append(outcome)
+        values.append(
+            [expectation(state, observable) for observable in options.observables]
+        )
+    return {
+        "tally": tally,
+        "memory": memory,
+        "num_bits": plan.num_clbits or plan.num_qubits,
+        "values": values,
+    }
+
+
+def _trajectory_element(plan, index: int, options: RunOptions, backend, workers: int):
+    """Shot-resolved dynamic execution: ``shots`` independent trajectories.
+
+    Counts/memory tally the per-trajectory outcomes; expectation values
+    are the trajectory **means** of the per-trajectory exact values, with
+    the standard error of each mean surfaced as ``expectation_std`` (the
+    statistical handle the bench agreement gate uses).  Trajectories
+    shard across the worker pool exactly like shot shards — merged in
+    shard order over absolute-index seeds, so ``max_workers`` never
+    changes the result.
+    """
+    t0 = time.perf_counter()
+    shots = options.shots
+    if workers > 1 and shots > 1:
+        from repro.service.pool import _trajectory_task, dump_plan, run_tasks
+        from repro.service.sharding import shard_sizes
+
+        blob = dump_plan(plan)
+        shipped = _worker_options(options)
+        sizes = shard_sizes(shots, min(workers, shots))
+        tasks = []
+        cursor = 0
+        for size in sizes:
+            tasks.append((blob, index, cursor, size, shipped, backend))
+            cursor += size
+        parts = run_tasks(_trajectory_task, tasks, workers)
+    else:
+        parts = [trajectory_shard(plan, index, 0, shots, options, backend)]
+    tally: Dict[str, int] = {}
+    for part in parts:
+        for outcome, count in part["tally"].items():
+            tally[outcome] = tally.get(outcome, 0) + count
+    counts = Counts(tally, num_qubits=parts[0]["num_bits"])
+    memory: Optional[List[str]] = None
+    if options.memory:
+        memory = []
+        for part in parts:
+            memory.extend(part["memory"])
+    # Concatenate per-trajectory values in absolute trajectory order and
+    # reduce over the full (T, n_obs) array: the mean/std are then
+    # computed identically for every shard split, keeping expectation
+    # values (not just counts) invariant under max_workers.
+    stacked = np.asarray(
+        [row for part in parts for row in part["values"]], dtype=np.float64
+    ).reshape(shots, len(options.observables))
+    means = stacked.mean(axis=0)
+    variances = np.maximum(np.mean(stacked**2, axis=0) - means**2, 0.0)
+    stds = np.sqrt(variances / shots)
+    return {
+        "index": index,
+        # No single final state exists for a trajectory average; counts,
+        # memory and expectation means carry the result.
+        "state": None,
+        "counts": counts,
+        "memory": memory,
+        "values": tuple(float(v) for v in means),
+        "expectation_std": tuple(float(s) for s in stds),
+        "run_time_s": time.perf_counter() - t0,
+        "sample_time_s": 0.0,
+    }
+
+
+def _dynamic_payload(plan, index: int, options: RunOptions, backend, workers: int):
+    """Per-element payload for a plan with dynamic ops.
+
+    Density mode stays deterministic: one branch-bookkeeping evolution
+    yields the ensemble-average state *and* the exact clbit distribution,
+    which is sampled directly (readout error models qubit measurement
+    hardware and is deliberately not applied to clbit registers).  Pure
+    modes are stochastic: with shots they run per-shot trajectories;
+    without shots the statevector backend runs a single seeded trajectory
+    (the trajectory backend instead demands shots — its whole output is
+    the trajectory average).
+    """
+    if plan.mode == "density":
+        t0 = time.perf_counter()
+        classical: Dict[str, Any] = {}
+        state = backend.execute_plan(plan, classical=classical)
+        run_time = time.perf_counter() - t0
+        counts = memory = None
+        sample_time = 0.0
+        if options.shots:
+            t0 = time.perf_counter()
+            if plan.num_clbits:
+                probs = np.zeros(1 << plan.num_clbits, dtype=np.float64)
+                for bits, weight in classical["distribution"].items():
+                    probs[bitstring_to_index(bits)] = weight
+                probs /= probs.sum()
+                counts, memory = _sample_probs(
+                    probs, plan.num_clbits, options, index, workers
+                )
+            else:
+                counts, memory = _sample(state, options, index, workers=workers)
+            sample_time = time.perf_counter() - t0
+        values = tuple(
+            expectation(state, observable) for observable in options.observables
+        )
+        return {
+            "index": index,
+            "state": state,
+            "counts": counts,
+            "memory": memory,
+            "values": values,
+            "run_time_s": run_time,
+            "sample_time_s": sample_time,
+        }
+    if options.shots == 0:
+        if plan.mode == "trajectory":
+            raise ExecutionError(
+                "the trajectory backend needs shots >= 1: each shot is one "
+                "Monte-Carlo trajectory and the result is their average; "
+                "set shots= in RunOptions (or use backend='density_matrix' "
+                "for the exact state)"
+            )
+        # Statevector + dynamic ops, no shots: one stochastic collapse,
+        # seeded as trajectory 0 of this element for reproducibility.
+        t0 = time.perf_counter()
+        rng = ensure_rng(derive_seed(options.seed, index, 0))
+        state = backend.execute_plan(plan, rng=rng)
+        return {
+            "index": index,
+            "state": state,
+            "counts": None,
+            "memory": None,
+            "values": tuple(
+                expectation(state, observable) for observable in options.observables
+            ),
+            "run_time_s": time.perf_counter() - t0,
+            "sample_time_s": 0.0,
+        }
+    return _trajectory_element(plan, index, options, backend, workers)
 
 
 def _effective_workers(options: RunOptions) -> int:
@@ -221,19 +420,21 @@ def _compile_timed(circuit: Circuit, backend, options: RunOptions):
     return plan, compile_time, (plan.transpile_time_s if compiled_now else 0.0)
 
 
-def _sweep_is_batchable(backend, options: RunOptions) -> bool:
+def _sweep_is_batchable(template: Circuit, backend, options: RunOptions) -> bool:
     """Whether a sweep can stack into one batched state evolution.
 
     Batched evolution is pure-state arithmetic with no per-element
-    randomness, so it requires the statevector lowering and no
-    shots/memory/noise; everything else falls back to per-element plan
-    execution (same compiled plan, bound per point).
+    randomness, so it requires the statevector lowering, no
+    shots/memory/noise, and no dynamic ops (measure/reset/if_bit collapse
+    each sweep point independently); everything else falls back to
+    per-element plan execution (same compiled plan, bound per point).
     """
     return (
         getattr(backend, "plan_mode", None) == "statevector"
         and options.shots == 0
         and not options.memory
         and options.noise_model is None
+        and not template.has_dynamic_ops()
     )
 
 
@@ -255,8 +456,15 @@ def _run_sweep(
     the template, then ``bind() + run()`` per point.
     """
     plan_capable = getattr(backend, "plan_mode", None) is not None
-    batchable = plan_capable and _sweep_is_batchable(backend, options)
+    batchable = plan_capable and _sweep_is_batchable(template, backend, options)
     if options.sweep_mode == "batched" and not batchable:
+        if template.has_dynamic_ops():
+            raise ExecutionError(
+                "sweep_mode='batched' cannot run dynamic circuits: "
+                "measure/reset/if_bit collapse each sweep point "
+                "independently, so there is no shared batched evolution — "
+                "use sweep_mode='auto' or 'per_element'"
+            )
         raise ExecutionError(
             "sweep_mode='batched' requires a plan-capable statevector "
             "backend with shots=0, memory=False and no noise model; use "
@@ -377,6 +585,14 @@ def _run_sweep(
                     }
                 )
         for payload, point in zip(payloads, bindings):
+            metadata = {
+                "backend": backend.name,
+                "seed": derive_seed(options.seed, payload["index"]),
+                "run_time_s": payload["run_time_s"],
+                "sample_time_s": payload["sample_time_s"],
+            }
+            if "expectation_std" in payload:
+                metadata["expectation_std"] = payload["expectation_std"]
             results.append(
                 Result(
                     lambda point=point: bound_template.bind(point),
@@ -386,12 +602,7 @@ def _run_sweep(
                     observables=options.observables,
                     expectation_values=payload["values"],
                     parameters=point,
-                    metadata={
-                        "backend": backend.name,
-                        "seed": derive_seed(options.seed, payload["index"]),
-                        "run_time_s": payload["run_time_s"],
-                        "sample_time_s": payload["sample_time_s"],
-                    },
+                    metadata=metadata,
                 )
             )
     return BatchResult(
@@ -501,6 +712,14 @@ def _run_batch(
 
     results: List[Result] = []
     for payload, result_circuit in zip(payloads, result_circuits):
+        metadata = {
+            "backend": backend.name,
+            "seed": derive_seed(options.seed, payload["index"]),
+            "run_time_s": payload["run_time_s"],
+            "sample_time_s": payload["sample_time_s"],
+        }
+        if "expectation_std" in payload:
+            metadata["expectation_std"] = payload["expectation_std"]
         results.append(
             Result(
                 result_circuit,
@@ -510,12 +729,7 @@ def _run_batch(
                 observables=options.observables,
                 expectation_values=payload["values"],
                 parameters=None,
-                metadata={
-                    "backend": backend.name,
-                    "seed": derive_seed(options.seed, payload["index"]),
-                    "run_time_s": payload["run_time_s"],
-                    "sample_time_s": payload["sample_time_s"],
-                },
+                metadata=metadata,
             )
         )
     if single:

@@ -76,7 +76,13 @@ class Result:
 
     @property
     def state(self):
-        """The final state handle (Statevector or DensityMatrix)."""
+        """The final state handle (Statevector or DensityMatrix).
+
+        ``None`` for shot-resolved dynamic/trajectory execution: those
+        results are averages over stochastic trajectories, so no single
+        final state exists — counts, memory, and the expectation means
+        (with ``metadata["expectation_std"]``) carry the outcome.
+        """
         return self._state
 
     @property
@@ -129,6 +135,13 @@ class Result:
         """Evaluate one more observable on the retained final state."""
         from repro.observables import expectation
 
+        if self._state is None:
+            raise ExecutionError(
+                "this result retained no final state (trajectory-averaged "
+                "results have none); request the observable via "
+                "RunOptions(observables=...) so it is averaged over the "
+                "trajectories at execution time"
+            )
         return expectation(self._state, observable)
 
     def __repr__(self) -> str:

@@ -15,27 +15,39 @@ execution of the same circuit under the same options skips compilation.
 """
 
 from repro.plan.plan import (
+    ConditionalOp,
     DensityKrausOp,
     DensityUnitaryOp,
     ExecutionPlan,
+    MeasureOp,
     ParametricSlotOp,
+    ResetOp,
+    TrajectoryKrausOp,
     UnitaryOp,
     add_lower_hook,
     compile_plan,
+    execute_dynamic_density,
+    execute_dynamic_pure,
     remove_lower_hook,
 )
 from repro.plan.batch import run_batched_sweep
 from repro.plan.cache import clear_plan_cache, plan_cache_info
 
 __all__ = [
+    "ConditionalOp",
     "DensityKrausOp",
     "DensityUnitaryOp",
     "ExecutionPlan",
+    "MeasureOp",
     "ParametricSlotOp",
+    "ResetOp",
+    "TrajectoryKrausOp",
     "UnitaryOp",
     "add_lower_hook",
     "clear_plan_cache",
     "compile_plan",
+    "execute_dynamic_density",
+    "execute_dynamic_pure",
     "plan_cache_info",
     "remove_lower_hook",
     "run_batched_sweep",

@@ -72,6 +72,12 @@ def run_batched_sweep(
         raise SimulationError(
             f"batched sweeps require a statevector plan, got mode {plan.mode!r}"
         )
+    if plan.has_dynamic_ops:
+        raise SimulationError(
+            "batched sweeps cannot run dynamic circuits: measure/reset/"
+            "if_bit collapse each sweep point independently, so there is "
+            "no shared batched contraction — use sweep_mode='loop'"
+        )
     points = len(bindings)
     if points == 0:
         raise SimulationError("batched sweep needs at least one binding")

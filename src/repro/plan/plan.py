@@ -16,13 +16,26 @@ re-lowering* the static ops around them, so an N-point sweep costs one
 lowering plus N cheap slot substitutions (or a single batched contraction
 per op — see :mod:`repro.plan.batch`).
 
-Two lowering modes exist, selected by the target backend's ``plan_mode``:
+Three lowering modes exist, selected by the target backend's ``plan_mode``:
 
 * ``"statevector"`` — ops contract onto a ``(2,) * n`` pure-state tensor;
   channel instructions and gate-noise models are rejected at compile time.
 * ``"density"`` — ops conjugate a ``(2,) * 2n`` density tensor
   (``U rho U†`` as two contractions, channels as Kraus sums); noise-model
   rules are matched per instruction *here*, not per run.
+* ``"trajectory"`` — pure-state ops like ``"statevector"``, but channels
+  (and matched noise rules) lower to :class:`TrajectoryKrausOp`: at
+  execution time one Kraus operator is *sampled* per application from the
+  seeded RNG stream (Monte-Carlo wavefunction unraveling), keeping noisy
+  evolution at O(2**n) per trajectory.
+
+Dynamic instructions (measure/reset/if_bit) lower to
+:class:`MeasureOp`/:class:`ResetOp`/:class:`ConditionalOp` in every mode.
+Plans containing them (or trajectory Kraus ops) set
+:attr:`ExecutionPlan.has_dynamic_ops`; the backends' shared loop then
+threads an RNG and a classical-bit register through
+:func:`execute_dynamic_pure` / :func:`execute_dynamic_density` instead of
+the plain op-after-op fast path.
 """
 
 from __future__ import annotations
@@ -37,6 +50,12 @@ from repro.utils.exceptions import SimulationError
 
 STATEVECTOR = "statevector"
 DENSITY = "density"
+TRAJECTORY = "trajectory"
+
+#: Density-mode classical branches below this trace weight are dropped:
+#: they are fp dust from projecting deterministic outcomes, and keeping
+#: them would only add zero tensors to every later contraction.
+_BRANCH_ATOL = 1e-15
 
 # Lowering hooks: callables invoked as fn(circuit, plan) after every *full*
 # lowering (never on ExecutionPlan.bind, which only substitutes slot ops).
@@ -71,6 +90,7 @@ class UnitaryOp:
     __slots__ = ("tensor", "targets", "in_axes", "out_axes", "batch_targets", "name")
 
     is_slot = False
+    is_dynamic = False
 
     def __init__(self, name: str, matrix: np.ndarray, targets, dtype) -> None:
         k = len(targets)
@@ -112,6 +132,7 @@ class DensityUnitaryOp:
     )
 
     is_slot = False
+    is_dynamic = False
 
     def __init__(self, name: str, matrix: np.ndarray, targets, num_qubits, dtype) -> None:
         k = len(targets)
@@ -148,6 +169,7 @@ class DensityKrausOp:
     )
 
     is_slot = False
+    is_dynamic = False
 
     def __init__(self, name: str, kraus, targets, num_qubits, dtype) -> None:
         k = len(targets)
@@ -188,6 +210,7 @@ class ParametricSlotOp:
     __slots__ = ("gate_name", "params", "targets", "parameters", "index")
 
     is_slot = True
+    is_dynamic = False
 
     def __init__(self, gate_name: str, params, targets, index: int) -> None:
         self.gate_name = gate_name
@@ -216,7 +239,283 @@ class ParametricSlotOp:
         return f"ParametricSlotOp({self.gate_name}({names}) @ {self.targets})"
 
 
-PlanOp = Union[UnitaryOp, DensityUnitaryOp, DensityKrausOp, ParametricSlotOp]
+def _project_density(rho: np.ndarray, qubit: int, num_qubits: int, outcome: int):
+    """``P rho P`` for the Z-basis projector onto ``outcome`` of ``qubit``."""
+    out = np.zeros_like(rho)
+    src = np.moveaxis(rho, (qubit, num_qubits + qubit), (0, 1))
+    dst = np.moveaxis(out, (qubit, num_qubits + qubit), (0, 1))
+    dst[outcome, outcome] = src[outcome, outcome]
+    return out
+
+
+def _density_trace(rho: np.ndarray, num_qubits: int) -> float:
+    dim = 1 << num_qubits
+    return float(np.trace(rho.reshape(dim, dim)).real)
+
+
+class MeasureOp:
+    """Projective Z measurement of one qubit, outcome into a clbit.
+
+    Pure modes sample the outcome from the RNG stream, zero the other
+    branch, and renormalise; density mode splits every classical branch
+    into its two projected (unnormalised) sub-branches, so the final
+    branch weights *are* the joint clbit distribution.
+    """
+
+    __slots__ = ("qubit", "clbit", "num_qubits", "name")
+
+    is_slot = False
+    is_dynamic = True
+
+    def __init__(self, qubit: int, clbit: int, num_qubits: int) -> None:
+        self.qubit = int(qubit)
+        self.clbit = int(clbit)
+        self.num_qubits = int(num_qubits)
+        self.name = "measure"
+
+    def apply(self, state: np.ndarray) -> np.ndarray:
+        raise SimulationError(
+            "measure is a dynamic op; execute the plan through a backend "
+            "(execute_plan threads the RNG and classical bits)"
+        )
+
+    def apply_pure(self, state: np.ndarray, rng, bits: List[int]) -> np.ndarray:
+        moved = np.moveaxis(state, self.qubit, 0)
+        p0 = float(np.sum(np.abs(moved[0]) ** 2))
+        p1 = float(np.sum(np.abs(moved[1]) ** 2))
+        # Drawing against the *unnormalised* total also absorbs norm
+        # drift; a zero-probability branch can never be selected (see the
+        # boundary: random() < 1 strictly, and random() >= 0 always).
+        outcome = 0 if rng.random() * (p0 + p1) < p0 else 1
+        prob = p0 if outcome == 0 else p1
+        out = np.zeros_like(state)
+        np.moveaxis(out, self.qubit, 0)[outcome] = moved[outcome] / np.sqrt(prob)
+        bits[self.clbit] = outcome
+        return out
+
+    def apply_density(self, branches):
+        merged: Dict[tuple, np.ndarray] = {}
+        for bits, rho in branches:
+            for outcome in (0, 1):
+                projected = _project_density(rho, self.qubit, self.num_qubits, outcome)
+                if _density_trace(projected, self.num_qubits) <= _BRANCH_ATOL:
+                    continue
+                key = bits[: self.clbit] + (outcome,) + bits[self.clbit + 1 :]
+                if key in merged:
+                    merged[key] = merged[key] + projected
+                else:
+                    merged[key] = projected
+        return list(merged.items())
+
+    def __repr__(self) -> str:
+        return f"MeasureOp(qubit={self.qubit} -> clbit={self.clbit})"
+
+
+class ResetOp:
+    """Re-initialise one qubit to ``|0>``: measure, flip on 1, discard.
+
+    Pure modes unravel stochastically (sampled projective collapse, then
+    the kept branch moves to the ``|0>`` slice); density mode applies the
+    exact channel ``rho -> P0 rho P0 + X P1 rho P1 X`` per branch, which
+    is deterministic and trace-preserving.
+    """
+
+    __slots__ = ("qubit", "num_qubits", "name")
+
+    is_slot = False
+    is_dynamic = True
+
+    def __init__(self, qubit: int, num_qubits: int) -> None:
+        self.qubit = int(qubit)
+        self.num_qubits = int(num_qubits)
+        self.name = "reset"
+
+    def apply(self, state: np.ndarray) -> np.ndarray:
+        raise SimulationError(
+            "reset is a dynamic op; execute the plan through a backend "
+            "(execute_plan threads the RNG and classical bits)"
+        )
+
+    def apply_pure(self, state: np.ndarray, rng, bits: List[int]) -> np.ndarray:
+        moved = np.moveaxis(state, self.qubit, 0)
+        p0 = float(np.sum(np.abs(moved[0]) ** 2))
+        p1 = float(np.sum(np.abs(moved[1]) ** 2))
+        outcome = 0 if rng.random() * (p0 + p1) < p0 else 1
+        prob = p0 if outcome == 0 else p1
+        out = np.zeros_like(state)
+        # The kept branch lands on the |0> slice whichever outcome was
+        # drawn — collapse and conditional flip in one assignment.
+        np.moveaxis(out, self.qubit, 0)[0] = moved[outcome] / np.sqrt(prob)
+        return out
+
+    def apply_density(self, branches):
+        out = []
+        for bits, rho in branches:
+            new = np.zeros_like(rho)
+            src = np.moveaxis(rho, (self.qubit, self.num_qubits + self.qubit), (0, 1))
+            dst = np.moveaxis(new, (self.qubit, self.num_qubits + self.qubit), (0, 1))
+            dst[0, 0] = src[0, 0] + src[1, 1]
+            out.append((bits, new))
+        return out
+
+    def __repr__(self) -> str:
+        return f"ResetOp(qubit={self.qubit})"
+
+
+class ConditionalOp:
+    """A concrete unitary op applied only when a clbit reads ``value``.
+
+    ``inner`` is a fully resolved :class:`UnitaryOp` (pure modes) or
+    :class:`DensityUnitaryOp` (density mode) — the branch test is the only
+    work left at execution time.
+    """
+
+    __slots__ = ("clbit", "value", "inner", "name")
+
+    is_slot = False
+    is_dynamic = True
+
+    def __init__(self, clbit: int, value: int, inner) -> None:
+        self.clbit = int(clbit)
+        self.value = int(value)
+        self.inner = inner
+        self.name = f"if[{inner.name}]"
+
+    def apply(self, state: np.ndarray) -> np.ndarray:
+        raise SimulationError(
+            "if_bit is a dynamic op; execute the plan through a backend "
+            "(execute_plan threads the RNG and classical bits)"
+        )
+
+    def apply_pure(self, state: np.ndarray, rng, bits: List[int]) -> np.ndarray:
+        if bits[self.clbit] == self.value:
+            return self.inner.apply(state)
+        return state
+
+    def apply_density(self, branches):
+        return [
+            (bits, self.inner.apply(rho) if bits[self.clbit] == self.value else rho)
+            for bits, rho in branches
+        ]
+
+    def __repr__(self) -> str:
+        return f"ConditionalOp(clbit={self.clbit}=={self.value}, {self.inner!r})"
+
+
+class TrajectoryKrausOp:
+    """Monte-Carlo unraveling of a Kraus channel on a pure state.
+
+    Applies every Kraus operator to the (normalised) input, computes the
+    branch weights ``||K_i psi||^2`` — which sum to 1 for a CPTP map —
+    samples one branch from the RNG stream, and renormalises.  This is
+    the trajectory backend's whole trick: the density-matrix Kraus *sum*
+    becomes a Kraus *choice* per trajectory.
+    """
+
+    __slots__ = ("tensors", "targets", "in_axes", "out_axes", "name")
+
+    is_slot = False
+    is_dynamic = True
+
+    def __init__(self, name: str, kraus, targets, dtype) -> None:
+        k = len(targets)
+        shape = (2,) * (2 * k)
+        self.tensors = tuple(
+            np.asarray(op, dtype=dtype).reshape(shape) for op in kraus
+        )
+        self.targets = tuple(targets)
+        self.in_axes = tuple(range(k, 2 * k))
+        self.out_axes = tuple(range(k))
+        self.name = name
+
+    def apply(self, state: np.ndarray) -> np.ndarray:
+        raise SimulationError(
+            "trajectory Kraus sampling is a dynamic op; execute the plan "
+            "through the trajectory backend (execute_plan threads the RNG)"
+        )
+
+    def apply_pure(self, state: np.ndarray, rng, bits: List[int]) -> np.ndarray:
+        candidates = []
+        weights = []
+        for tensor in self.tensors:
+            candidate = _contract(state, tensor, self.targets, self.in_axes, self.out_axes)
+            candidates.append(candidate)
+            weights.append(float(np.vdot(candidate, candidate).real))
+        draw = rng.random() * sum(weights)
+        cumulative = 0.0
+        chosen = None
+        for index, weight in enumerate(weights):
+            cumulative += weight
+            if weight > 0.0 and draw < cumulative:
+                chosen = index
+                break
+        if chosen is None:  # fp edge: draw landed on the trailing rounding gap
+            chosen = int(np.argmax(weights))
+        return candidates[chosen] / np.sqrt(weights[chosen])
+
+    def __repr__(self) -> str:
+        return (
+            f"TrajectoryKrausOp({self.name} @ {self.targets}, "
+            f"{len(self.tensors)} ops)"
+        )
+
+
+def execute_dynamic_pure(plan: "ExecutionPlan", tensor: np.ndarray, rng):
+    """Run a dynamic pure-state plan: one stochastic trajectory.
+
+    Returns ``(final_tensor, bits)`` where ``bits`` is the classical
+    register (a tuple of 0/1 ints) after all measurements.  Identical for
+    the statevector and trajectory modes — the op set is the only
+    difference.
+    """
+    bits: List[int] = [0] * plan.num_clbits
+    for op in plan.ops:
+        if op.is_dynamic:
+            tensor = op.apply_pure(tensor, rng, bits)
+        else:
+            tensor = op.apply(tensor)
+    return tensor, tuple(bits)
+
+
+def execute_dynamic_density(plan: "ExecutionPlan", tensor: np.ndarray):
+    """Run a dynamic density plan with classical-outcome bookkeeping.
+
+    The state evolves as a list of ``(clbits, unnormalised rho)`` branches:
+    measurements split branches (projector superoperators), conditionals
+    apply per branch, and everything static is linear so same-clbit
+    branches merge exactly.  Returns ``(rho_total, distribution)`` where
+    ``rho_total`` is the deterministic ensemble average (trace 1) and
+    ``distribution`` maps clbit strings to their exact probabilities.
+    """
+    branches = [((0,) * plan.num_clbits, tensor)]
+    for op in plan.ops:
+        if op.is_dynamic:
+            branches = op.apply_density(branches)
+        else:
+            branches = [(bits, op.apply(rho)) for bits, rho in branches]
+    total = None
+    distribution: Dict[str, float] = {}
+    for bits, rho in branches:
+        total = rho if total is None else total + rho
+        weight = max(_density_trace(rho, plan.num_qubits), 0.0)
+        key = "".join(map(str, bits))
+        distribution[key] = distribution.get(key, 0.0) + weight
+    norm = sum(distribution.values())
+    if norm > 0.0:
+        distribution = {key: value / norm for key, value in distribution.items()}
+    return total, distribution
+
+
+PlanOp = Union[
+    UnitaryOp,
+    DensityUnitaryOp,
+    DensityKrausOp,
+    ParametricSlotOp,
+    MeasureOp,
+    ResetOp,
+    ConditionalOp,
+    TrajectoryKrausOp,
+]
 
 
 class ExecutionPlan:
@@ -240,6 +539,8 @@ class ExecutionPlan:
         "_stats",
         "_compile_time_s",
         "_transpile_time_s",
+        "_num_clbits",
+        "_has_dynamic",
     )
 
     def __init__(
@@ -255,6 +556,8 @@ class ExecutionPlan:
         stats=None,
         compile_time_s: float = 0.0,
         transpile_time_s: float = 0.0,
+        *,
+        num_clbits: int = 0,
     ) -> None:
         self._mode = mode
         self._num_qubits = int(num_qubits)
@@ -267,18 +570,30 @@ class ExecutionPlan:
         self._stats = stats
         self._compile_time_s = float(compile_time_s)
         self._transpile_time_s = float(transpile_time_s)
+        self._num_clbits = int(num_clbits)
+        self._has_dynamic = any(op.is_dynamic for op in self._ops)
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property
     def mode(self) -> str:
-        """Lowering mode: ``"statevector"`` or ``"density"``."""
+        """Lowering mode: ``"statevector"``, ``"density"`` or ``"trajectory"``."""
         return self._mode
 
     @property
     def num_qubits(self) -> int:
         return self._num_qubits
+
+    @property
+    def num_clbits(self) -> int:
+        """Width of the classical register dynamic ops write into."""
+        return self._num_clbits
+
+    @property
+    def has_dynamic_ops(self) -> bool:
+        """Whether execution needs the RNG/classical-bit threading path."""
+        return self._has_dynamic
 
     @property
     def ops(self) -> Tuple[PlanOp, ...]:
@@ -370,7 +685,7 @@ class ExecutionPlan:
                 ops.append(op)
                 continue
             matrix = op.resolve_matrix(values)
-            if self._mode == STATEVECTOR:
+            if self._mode in (STATEVECTOR, TRAJECTORY):
                 ops.append(UnitaryOp(op.gate_name, matrix, op.targets, self._dtype))
             else:
                 ops.append(
@@ -390,7 +705,27 @@ class ExecutionPlan:
             self._stats,
             self._compile_time_s,
             self._transpile_time_s,
+            num_clbits=self._num_clbits,
         )
+
+
+def _lower_dynamic(instruction, mode: str, num_qubits: int, dtype) -> PlanOp:
+    """Lower one dynamic instruction (measure/reset/if_bit) for ``mode``."""
+    operation = instruction.operation
+    if instruction.is_measure:
+        return MeasureOp(instruction.qubits[0], operation.clbit, num_qubits)
+    if instruction.is_reset:
+        return ResetOp(instruction.qubits[0], num_qubits)
+    # Conditional: the wrapped gate is concrete (Conditional rejects
+    # parametric operations), so the inner op resolves fully here.
+    gate = operation.operation
+    if mode in (STATEVECTOR, TRAJECTORY):
+        inner = UnitaryOp(gate.name, gate.matrix, instruction.qubits, dtype)
+    else:
+        inner = DensityUnitaryOp(
+            gate.name, gate.matrix, instruction.qubits, num_qubits, dtype
+        )
+    return ConditionalOp(operation.clbit, operation.value, inner)
 
 
 def _lower(
@@ -401,62 +736,70 @@ def _lower(
     backend_name: str,
 ) -> ExecutionPlan:
     """Lower a (transpiled) circuit into plan ops for ``mode``."""
+    if mode not in (STATEVECTOR, DENSITY, TRAJECTORY):
+        raise SimulationError(
+            f"unknown plan mode {mode!r}; expected "
+            f"{STATEVECTOR!r}, {DENSITY!r} or {TRAJECTORY!r}"
+        )
     n = circuit.num_qubits
+    pure = mode in (STATEVECTOR, TRAJECTORY)
     ops: List[PlanOp] = []
-    if mode == STATEVECTOR:
-        for index, instruction in enumerate(circuit):
-            if instruction.is_channel:
+    for index, instruction in enumerate(circuit):
+        operation = instruction.operation
+        if instruction.is_dynamic:
+            ops.append(_lower_dynamic(instruction, mode, n, dtype))
+            continue
+        if instruction.is_channel:
+            if mode == STATEVECTOR:
                 raise SimulationError(
                     "circuit contains channel instructions; the statevector "
                     "backend only simulates unitary gates — use "
                     "backend='density_matrix'"
                 )
-            operation = instruction.operation
-            if instruction.is_parametric:
+            if mode == TRAJECTORY:
                 ops.append(
-                    ParametricSlotOp(
-                        operation.name, operation.params, instruction.qubits, index
+                    TrajectoryKrausOp(
+                        operation.name, operation.kraus, instruction.qubits, dtype
                     )
                 )
             else:
-                ops.append(
-                    UnitaryOp(operation.name, operation.matrix, instruction.qubits, dtype)
-                )
-    elif mode == DENSITY:
-        for index, instruction in enumerate(circuit):
-            operation = instruction.operation
-            if instruction.is_channel:
                 ops.append(
                     DensityKrausOp(
                         operation.name, operation.kraus, instruction.qubits, n, dtype
                     )
                 )
-                continue
-            if instruction.is_parametric:
-                ops.append(
-                    ParametricSlotOp(
-                        operation.name, operation.params, instruction.qubits, index
-                    )
+            continue
+        if instruction.is_parametric:
+            ops.append(
+                ParametricSlotOp(
+                    operation.name, operation.params, instruction.qubits, index
                 )
-            else:
-                ops.append(
-                    DensityUnitaryOp(
-                        operation.name, operation.matrix, instruction.qubits, n, dtype
-                    )
+            )
+        elif pure:
+            ops.append(
+                UnitaryOp(operation.name, operation.matrix, instruction.qubits, dtype)
+            )
+        else:
+            ops.append(
+                DensityUnitaryOp(
+                    operation.name, operation.matrix, instruction.qubits, n, dtype
                 )
-            if noise_model is not None:
-                # Rule matching hoisted out of the run loop: the rules
-                # fired by an instruction depend only on its name and
-                # qubits, both fixed at compile time (parametric or not).
-                for channel, qubits in noise_model.channels_for(instruction):
+            )
+        if noise_model is not None:
+            # Rule matching hoisted out of the run loop: the rules
+            # fired by an instruction depend only on its name and
+            # qubits, both fixed at compile time (parametric or not).
+            # Statevector mode never gets here — gate noise is rejected
+            # by the backend's _validate_noise before lowering.
+            for channel, qubits in noise_model.channels_for(instruction):
+                if mode == TRAJECTORY:
+                    ops.append(
+                        TrajectoryKrausOp(channel.name, channel.kraus, qubits, dtype)
+                    )
+                else:
                     ops.append(
                         DensityKrausOp(channel.name, channel.kraus, qubits, n, dtype)
                     )
-    else:
-        raise SimulationError(
-            f"unknown plan mode {mode!r}; expected "
-            f"{STATEVECTOR!r} or {DENSITY!r}"
-        )
     plan = ExecutionPlan(
         mode,
         n,
@@ -466,6 +809,7 @@ def _lower(
         circuit,
         backend_name,
         stats=circuit.stats(),
+        num_clbits=circuit.num_clbits,
     )
     return plan
 
@@ -520,7 +864,7 @@ def compile_plan(
 
         backend = get_backend(backend)
     mode = getattr(backend, "plan_mode", None)
-    if mode not in (STATEVECTOR, DENSITY):
+    if mode not in (STATEVECTOR, DENSITY, TRAJECTORY):
         raise SimulationError(
             f"backend {getattr(backend, 'name', backend)!r} does not "
             "declare a plan_mode; only plan-capable backends can compile "
@@ -593,6 +937,7 @@ def compile_plan(
         plan.stats,
         compile_time_s=time.perf_counter() - start,
         transpile_time_s=transpile_time,
+        num_clbits=plan.num_clbits,
     )
     for hook in tuple(_LOWER_HOOKS):
         hook(circuit, plan)

@@ -50,7 +50,16 @@ def _resolve_state(
     source: Source, backend: BackendLike, noise_model
 ) -> Union[Statevector, DensityMatrix]:
     if isinstance(source, Circuit):
-        return run(source, backend=backend, noise_model=noise_model)
+        if source.has_dynamic_ops():
+            raise SimulationError(
+                "sample_counts/sample_memory cannot sample dynamic "
+                "circuits (measure/reset/if_bit): one simulated state "
+                "does not determine the outcome distribution — use "
+                "repro.execute(circuit, shots=...)"
+            )
+        from repro.execution.options import RunOptions
+
+        return run(source, backend=backend, options=RunOptions(noise_model=noise_model))
     if isinstance(source, (Statevector, DensityMatrix)):
         if noise_model is not None and noise_model.has_gate_noise:
             raise SimulationError(

@@ -167,3 +167,12 @@ def _shard_task(probs, shots: int, seed, num_qubits: int, memory: bool):
     from repro.execution.api import sample_shard
 
     return sample_shard(probs, shots, seed, num_qubits, memory)
+
+
+def _trajectory_task(
+    plan_blob: bytes, index: int, start: int, count: int, options, backend
+):
+    """One shard of Monte-Carlo trajectories for a dynamic-plan element."""
+    from repro.execution.api import trajectory_shard
+
+    return trajectory_shard(load_plan(plan_blob), index, start, count, options, backend)

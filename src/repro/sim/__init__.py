@@ -1,13 +1,17 @@
 """Simulation backends behind a unified registry.
 
-Two shipped backends, selected by name through :func:`get_backend` (or the
-``backend=`` argument of :func:`run` and the sampling layer):
+Three shipped backends, selected by name through :func:`get_backend` (or
+the ``backend=`` argument of :func:`run` and the sampling layer):
 
 * ``"statevector"`` — pure states as ``(2,) * n`` tensors; gates applied
   by ``numpy.tensordot`` contraction, never ``2**n x 2**n`` operators.
 * ``"density_matrix"`` — mixed states as ``(2,) * 2n`` tensors; gates as
   ``U rho U†``, channels as Kraus sums, O(4**n) memory — never a dense
   ``4**n x 4**n`` superoperator.
+* ``"trajectory"`` — Monte-Carlo wavefunction unraveling: pure states
+  with one Kraus operator *sampled* per channel application, so noisy
+  circuits stay at O(2**n) per trajectory and ``shots`` trajectories are
+  averaged.
 
 User backends implementing the :class:`Backend` protocol join via
 :func:`register_backend`.
@@ -29,6 +33,7 @@ from repro.sim.density import (
     apply_channel_to_density,
     apply_matrix_to_density,
 )
+from repro.sim.trajectory import TrajectoryBackend
 
 __all__ = [
     "Backend",
@@ -37,6 +42,7 @@ __all__ = [
     "DensityMatrixBackend",
     "Statevector",
     "StatevectorBackend",
+    "TrajectoryBackend",
     "apply_channel_to_density",
     "apply_gate_tensor",
     "apply_matrix_to_density",

@@ -28,12 +28,21 @@ reserved for plan-capable backends (those declaring ``plan_mode``).
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, Protocol, Union, runtime_checkable
+
+import numpy as np
 
 from repro.circuit import Circuit
 from repro.utils.exceptions import SimulationError
 
 DEFAULT_BACKEND = "statevector"
+
+_LEGACY_RUN_KWARGS_MESSAGE = (
+    "the optimize=/passes=/noise_model= keywords of run() are deprecated; "
+    "pass a RunOptions (options=RunOptions(optimize=..., passes=..., "
+    "noise_model=...)) or use repro.execute()"
+)
 
 
 @runtime_checkable
@@ -87,8 +96,9 @@ class BaseBackend:
 
         ``options`` is a :class:`~repro.execution.RunOptions`; the
         ``optimize`` / ``passes`` / ``noise_model`` keywords are the
-        legacy pre-options surface, accepted only when ``options`` is
-        not given (the two spellings must not be mixed).
+        legacy pre-options surface — **deprecated**, accepted only when
+        ``options`` is not given (the two spellings must not be mixed),
+        and emitting a :class:`DeprecationWarning` when used.
         """
         from repro.execution.options import RunOptions
 
@@ -97,6 +107,10 @@ class BaseBackend:
                 f"expected a Circuit, got {type(circuit).__name__}"
             )
         if options is None:
+            if optimize or passes is not None or noise_model is not None:
+                warnings.warn(
+                    _LEGACY_RUN_KWARGS_MESSAGE, DeprecationWarning, stacklevel=2
+                )
             options = RunOptions(
                 optimize=optimize, passes=passes, noise_model=noise_model
             )
@@ -124,9 +138,15 @@ class BaseBackend:
         from repro.plan import compile_plan
 
         plan = compile_plan(circuit, self, options)
-        return self.execute_plan(plan, initial_state)
+        rng = None
+        if plan.has_dynamic_ops and plan.mode != "density":
+            # A direct run() of a dynamic circuit on a pure-state backend
+            # is a single stochastic trajectory; options.seed makes it
+            # reproducible.  Shot-resolved sampling lives in execute().
+            rng = np.random.default_rng(options.seed)
+        return self.execute_plan(plan, initial_state, rng=rng)
 
-    def execute_plan(self, plan, initial_state=None):
+    def execute_plan(self, plan, initial_state=None, *, rng=None, classical=None):
         """Run a compiled, fully bound plan — the one evolution loop.
 
         ``plan`` must have been compiled for this backend's
@@ -135,8 +155,23 @@ class BaseBackend:
         the initial tensor is cast to match below, so executing a
         ``complex64`` plan on a ``complex128``-configured backend (or
         vice versa) stays in the plan's precision end to end.
+
+        Plans with dynamic ops leave the plain op-after-op fast path:
+
+        * pure modes thread ``rng`` (fresh unseeded generator when
+          ``None``) and a classical-bit register through
+          :func:`~repro.plan.execute_dynamic_pure` — one stochastic
+          trajectory; the final clbit string lands in
+          ``classical["bits"]`` when a dict is passed.
+        * density mode runs the deterministic branch bookkeeping of
+          :func:`~repro.plan.execute_dynamic_density`; the exact clbit
+          distribution lands in ``classical["distribution"]``.
         """
-        from repro.plan import ExecutionPlan
+        from repro.plan import (
+            ExecutionPlan,
+            execute_dynamic_density,
+            execute_dynamic_pure,
+        )
 
         if not isinstance(plan, ExecutionPlan):
             raise SimulationError(
@@ -156,8 +191,20 @@ class BaseBackend:
         tensor = self._initial_tensor(plan.num_qubits, initial_state)
         if tensor.dtype != plan.dtype:
             tensor = tensor.astype(plan.dtype)
-        for op in plan.ops:
-            tensor = op.apply(tensor)
+        if not plan.has_dynamic_ops:
+            for op in plan.ops:
+                tensor = op.apply(tensor)
+            return self._finalize(tensor, plan.num_qubits)
+        if plan.mode == "density":
+            tensor, distribution = execute_dynamic_density(plan, tensor)
+            if classical is not None:
+                classical["distribution"] = distribution
+        else:
+            if rng is None:
+                rng = np.random.default_rng()
+            tensor, bits = execute_dynamic_pure(plan, tensor, rng)
+            if classical is not None:
+                classical["bits"] = "".join(map(str, bits))
         return self._finalize(tensor, plan.num_qubits)
 
     def _validate_noise(self, noise_model) -> None:
@@ -242,14 +289,21 @@ def run(
     A thin shim over the unified backend surface, kept for the original
     kwarg-style call sites: the keywords are folded into a
     :class:`~repro.execution.RunOptions` (or ``options=`` is forwarded
-    as-is) and dispatched to ``Backend.run``.  Returns whatever state
-    type the backend produces (:class:`~repro.sim.Statevector` or
-    :class:`~repro.sim.DensityMatrix`).  New code wanting counts or
-    expectation values should prefer :func:`repro.execute`.
+    as-is) and dispatched to ``Backend.run``.  The ``optimize`` /
+    ``passes`` / ``noise_model`` keywords are **deprecated** (a
+    :class:`DeprecationWarning` fires); ``backend=`` remains supported.
+    Returns whatever state type the backend produces
+    (:class:`~repro.sim.Statevector` or :class:`~repro.sim.DensityMatrix`).
+    New code wanting counts or expectation values should prefer
+    :func:`repro.execute`.
     """
     from repro.execution.options import RunOptions
 
     if options is None:
+        if optimize or passes is not None or noise_model is not None:
+            warnings.warn(
+                _LEGACY_RUN_KWARGS_MESSAGE, DeprecationWarning, stacklevel=2
+            )
         options = RunOptions(
             optimize=optimize, passes=passes, noise_model=noise_model
         )

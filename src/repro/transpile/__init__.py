@@ -6,7 +6,7 @@ A :class:`Pass` is a pure ``Circuit -> Circuit`` rewrite; a
 pipeline (drop identities, cancel inverse pairs, fuse adjacent gates).
 
 The layer depends only on ``repro.circuit``/``repro.gates`` — simulators
-opt in via ``StatevectorBackend.run(..., optimize=True)``, which routes
+opt in via ``RunOptions(optimize=True)``, which routes
 through :func:`transpile` without the transpiler ever importing a backend.
 """
 

@@ -44,14 +44,16 @@ class DropIdentities(Pass):
         return False
 
     def run(self, circuit: Circuit) -> Circuit:
-        out = Circuit(circuit.num_qubits, circuit.name)
+        out = Circuit(circuit.num_qubits, circuit.name, num_clbits=circuit.num_clbits)
         for instruction in circuit:
             # Channels are never identities (they are irreversible maps);
-            # parametric gates have no matrix to test until bound.  Keep
-            # both verbatim.
+            # parametric gates have no matrix to test until bound; dynamic
+            # ops (measure/reset/if_bit) are irreversible or classically
+            # controlled.  Keep all of them verbatim.
             if (
                 instruction.is_channel
                 or instruction.is_parametric
+                or instruction.is_dynamic
                 or not self._is_droppable(instruction.gate.matrix)
             ):
                 out.append(instruction.operation, instruction.qubits)
@@ -109,17 +111,22 @@ class CancelInversePairs(Pass):
                 # not the inverse of anything, and a channel blocker pins
                 # the gates behind it (no commuting past irreversible maps).
                 # Parametric gates likewise: without a matrix there is no
-                # inverse test, so they block like channels.
+                # inverse test, so they block like channels.  Dynamic ops
+                # (measure/reset/if_bit) are barriers for the same reason
+                # channels are: collapse is irreversible and a classical
+                # branch only resolves at execution time.
                 and not instruction.is_channel
                 and not kept[blocker].is_channel
                 and not instruction.is_parametric
                 and not kept[blocker].is_parametric
+                and not instruction.is_dynamic
+                and not kept[blocker].is_dynamic
                 and self._are_inverse(kept[blocker].gate, instruction.gate)
             ):
                 kept.pop(blocker)
             else:
                 kept.append(instruction)
-        out = Circuit(circuit.num_qubits, circuit.name)
+        out = Circuit(circuit.num_qubits, circuit.name, num_clbits=circuit.num_clbits)
         for instruction in kept:
             out.append(instruction.operation, instruction.qubits)
         return out

@@ -105,7 +105,7 @@ class FuseAdjacentGates(Pass):
     def run(self, circuit: Circuit) -> Circuit:
         from repro.gates import unitary_gate
 
-        out = Circuit(circuit.num_qubits, circuit.name)
+        out = Circuit(circuit.num_qubits, circuit.name, num_clbits=circuit.num_clbits)
         group: Optional[_FusionGroup] = None
 
         def flush() -> None:
@@ -126,10 +126,13 @@ class FuseAdjacentGates(Pass):
             # matrix to fold into a unitary product, and reordering noise
             # relative to gates changes the simulated distribution.
             # Parametric gates are barriers too — there is no matrix to
-            # fold until the parameters are bound.
+            # fold until the parameters are bound — and so are dynamic ops
+            # (no unitary may commute across a collapse or a classical
+            # branch).
             if (
                 instruction.is_channel
                 or instruction.is_parametric
+                or instruction.is_dynamic
                 or len(instruction.qubits) > self.max_width
             ):
                 flush()

@@ -91,14 +91,16 @@ def smoke_report():
 
 class TestRunSuite:
     def test_schema(self, smoke_report):
-        assert smoke_report["schema_version"] == SCHEMA_VERSION == 5
+        assert smoke_report["schema_version"] == SCHEMA_VERSION == 6
         assert smoke_report["config"]["smoke"] is True
         assert smoke_report["config"]["backend"] == "statevector"
         assert smoke_report["config"]["sweep"] is False
         assert smoke_report["config"]["parallel"] is False
         assert smoke_report["config"]["workers"] == 2
+        assert smoke_report["config"]["trajectory"] is False
         assert smoke_report["sweep"] is None
         assert smoke_report["parallel"] is None
+        assert smoke_report["trajectory"] is None
         for row in smoke_report["workloads"]:
             assert set(row) == _ROW_KEYS
 
@@ -501,3 +503,53 @@ class TestCli:
         )
         row = report["workloads"][0]
         assert row["gates_fused"] < row["gates_unfused"]
+
+
+class TestTrajectorySection:
+    """The --trajectory leg, shrunk to n=4 so the test stays fast.
+
+    The real leg runs at DENSITY_WIDTH_CAP (n=10, seconds of density
+    wall-time per run); monkeypatching the cap keeps the *code path*
+    identical while the state sizes stay test-sized.
+    """
+
+    @pytest.fixture()
+    def small_cap(self, monkeypatch):
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness, "DENSITY_WIDTH_CAP", 4)
+
+    def test_bench_trajectory_rows(self, small_cap):
+        from repro.bench.harness import _bench_trajectory
+
+        section = _bench_trajectory(smoke=True, seed=5, repeats=1)
+        assert section["trajectories"] == 128
+        rows = section["workloads"]
+        assert [row["name"] for row in rows] == [
+            "ghz_depolarizing_4",
+            "layered_damped_4",
+        ]
+        for row in rows:
+            assert row["num_qubits"] == 4
+            assert row["agreement"] is True
+            assert row["std_error"] >= 0.0
+            assert row["run_time_density_s"] > 0.0
+            assert row["run_time_trajectory_s"] > 0.0
+            assert -1.0 - 1e-9 <= row["expectation_density"] <= 1.0 + 1e-9
+
+    def test_run_suite_trajectory_flag(self, small_cap):
+        report = run_suite(
+            workloads=[Workload("ghz", 2, lambda: ghz(2))],
+            smoke=True,
+            shots=16,
+            repeats=1,
+            trajectory=True,
+        )
+        assert report["config"]["trajectory"] is True
+        section = report["trajectory"]
+        assert section is not None
+        round_trip = _strict_loads(json.dumps(report))
+        assert round_trip["trajectory"]["workloads"]
+
+    def test_trajectory_off_by_default(self, smoke_report):
+        assert smoke_report["trajectory"] is None

@@ -1,0 +1,151 @@
+"""Dynamic-circuit IR: Measure / Reset / Conditional leaves + clbit register."""
+
+import pickle
+
+import pytest
+
+from repro import Circuit, Conditional, Instruction, Measure, Parameter, Reset
+from repro.circuit.dynamic import clbits_used
+from repro.gates import get_gate
+from repro.utils.exceptions import CircuitError
+
+
+class TestMeasure:
+    def test_value_object_semantics(self):
+        assert Measure(2) == Measure(2)
+        assert Measure(2) != Measure(3)
+        assert hash(Measure(2)) == hash(Measure(2))
+        assert Measure(0).num_qubits == 1
+        assert Measure(0).name == "measure"
+        assert "clbit=2" in repr(Measure(2))
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, "0", True, None])
+    def test_invalid_clbit_rejected(self, bad):
+        with pytest.raises(CircuitError, match="clbit"):
+            Measure(bad)
+
+    def test_not_invertible(self):
+        instruction = Instruction(Measure(0), (0,))
+        with pytest.raises(CircuitError, match="invert"):
+            instruction.inverse()
+
+
+class TestReset:
+    def test_value_object_semantics(self):
+        assert Reset() == Reset()
+        assert hash(Reset()) == hash(Reset())
+        assert Reset().num_qubits == 1
+        assert Reset().name == "reset"
+
+    def test_not_invertible(self):
+        with pytest.raises(CircuitError, match="invert"):
+            Instruction(Reset(), (0,)).inverse()
+
+
+class TestConditional:
+    def test_wraps_concrete_gate(self):
+        gate = get_gate("x")
+        conditional = Conditional(1, 1, gate)
+        assert conditional.clbit == 1
+        assert conditional.value == 1
+        assert conditional.operation is gate
+        assert conditional.num_qubits == 1
+        assert conditional.name == "if[x]"
+
+    def test_value_object_semantics(self):
+        a = Conditional(0, 1, get_gate("x"))
+        b = Conditional(0, 1, get_gate("x"))
+        c = Conditional(0, 0, get_gate("x"))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    @pytest.mark.parametrize("value", [-1, 2, "1"])
+    def test_value_must_be_binary(self, value):
+        with pytest.raises(CircuitError, match="0 or 1"):
+            Conditional(0, value, get_gate("x"))
+
+    def test_parametric_gate_rejected(self):
+        theta = Parameter("theta")
+        with pytest.raises(CircuitError, match="parametric"):
+            Conditional(0, 1, get_gate("rx", theta))
+
+    def test_non_gate_rejected(self):
+        with pytest.raises(CircuitError, match="Gate"):
+            Conditional(0, 1, Measure(0))
+
+
+class TestCircuitBuilders:
+    def test_measure_widens_classical_register(self):
+        circuit = Circuit(2).h(0).measure(0, 3)
+        assert circuit.num_clbits == 4
+        assert circuit.has_dynamic_ops()
+
+    def test_explicit_num_clbits(self):
+        circuit = Circuit(2, num_clbits=5)
+        assert circuit.num_clbits == 5
+        circuit.measure(0, 1)  # within register: no widening
+        assert circuit.num_clbits == 5
+
+    def test_negative_num_clbits_rejected(self):
+        with pytest.raises(CircuitError, match="clbits"):
+            Circuit(1, num_clbits=-1)
+
+    def test_if_bit_requires_instruction(self):
+        with pytest.raises(CircuitError, match="Instruction"):
+            Circuit(1).if_bit(0, 1, get_gate("x"))
+
+    def test_if_bit_widens_register(self):
+        circuit = Circuit(2).if_bit(2, 1, Instruction(get_gate("x"), (1,)))
+        assert circuit.num_clbits == 3
+
+    def test_reset_does_not_touch_classical_register(self):
+        circuit = Circuit(1).reset(0)
+        assert circuit.num_clbits == 0
+        assert circuit.has_dynamic_ops()
+
+    def test_static_circuit_has_no_dynamic_ops(self):
+        assert not Circuit(2).h(0).cx(0, 1).has_dynamic_ops()
+
+    def test_stats_counts_dynamic_ops(self):
+        circuit = (
+            Circuit(3)
+            .h(0)
+            .measure(0, 0)
+            .measure(1, 1)
+            .reset(2)
+            .if_bit(0, 1, Instruction(get_gate("x"), (2,)))
+        )
+        stats = circuit.stats()
+        assert stats.num_measurements == 2
+        assert stats.num_resets == 1
+        assert stats.num_conditionals == 1
+        assert stats.num_clbits == 2
+        assert stats.gate_counts["measure"] == 2
+        assert stats.gate_counts["if[x]"] == 1
+
+    def test_copy_and_compose_preserve_clbits(self):
+        circuit = Circuit(2).measure(0, 1)
+        assert circuit.copy().num_clbits == 2
+        wide = Circuit(3).compose(circuit, qubits=(1, 2))
+        assert wide.num_clbits == 2
+        assert wide.has_dynamic_ops()
+
+    def test_pickle_round_trip(self):
+        circuit = (
+            Circuit(2, num_clbits=2)
+            .h(0)
+            .measure(0, 0)
+            .reset(1)
+            .if_bit(0, 1, Instruction(get_gate("z"), (1,)))
+        )
+        clone = pickle.loads(pickle.dumps(circuit))
+        assert clone.num_clbits == 2
+        assert list(clone) == list(circuit)
+
+
+class TestClbitsUsed:
+    def test_widths(self):
+        assert clbits_used(Measure(4)) == 5
+        assert clbits_used(Conditional(2, 0, get_gate("x"))) == 3
+        assert clbits_used(Reset()) == 0
+        assert clbits_used(get_gate("h")) == 0

@@ -6,6 +6,7 @@ import pytest
 from repro.circuit import Circuit
 from repro.noise import NoiseModel, ReadoutError, bit_flip, depolarizing
 from repro.sampling import sample_counts
+from repro.execution import RunOptions
 from repro.sim import get_backend, run
 from repro.utils.exceptions import NoiseModelError, SimulationError
 
@@ -78,25 +79,29 @@ class TestNoiseModelOnBackend:
     def test_model_noise_mixes_state(self):
         model = NoiseModel().add_channel(depolarizing(0.2))
         circuit = Circuit(2).h(0).cx(0, 1)
-        state = get_backend("density_matrix").run(circuit, noise_model=model)
+        state = get_backend("density_matrix").run(
+            circuit, options=RunOptions(noise_model=model)
+        )
         assert state.purity() < 0.999
         assert state.trace() == pytest.approx(1.0)
 
     def test_statevector_backend_rejects_gate_noise(self):
         model = NoiseModel().add_channel(bit_flip(0.1))
         with pytest.raises(SimulationError, match="density_matrix"):
-            run(Circuit(1).h(0), noise_model=model)
+            run(Circuit(1).h(0), options=RunOptions(noise_model=model))
 
     def test_statevector_backend_accepts_readout_only_model(self):
         model = NoiseModel().set_readout_error(ReadoutError(0.1, 0.1))
-        state = run(Circuit(1).h(0), noise_model=model)
+        state = run(Circuit(1).h(0), options=RunOptions(noise_model=model))
         assert state.num_qubits == 1
 
     def test_gate_filtered_noise_matches_explicit_channels(self):
         channel = depolarizing(0.1)
         model = NoiseModel().add_channel(channel, gates=["h"])
         circuit = Circuit(1).h(0)
-        via_model = get_backend("density_matrix").run(circuit, noise_model=model)
+        via_model = get_backend("density_matrix").run(
+            circuit, options=RunOptions(noise_model=model)
+        )
         explicit = Circuit(1).h(0).channel(channel, (0,))
         via_circuit = get_backend("density_matrix").run(explicit)
         assert np.allclose(via_model.data, via_circuit.data)

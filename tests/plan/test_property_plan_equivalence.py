@@ -9,7 +9,7 @@ must change *when* the bookkeeping happens, never the arithmetic.
 import numpy as np
 import pytest
 
-from repro import Circuit, execute, run
+from repro import Circuit, RunOptions, execute, run
 from repro.bench.workloads import (
     parameterized_rotations,
     random_dense,
@@ -110,7 +110,11 @@ class TestDensityBitwise:
         )
         circuit = random_dense(3, num_gates=20, seed=seed)
         assert np.array_equal(
-            run(circuit, backend="density_matrix", noise_model=model).data,
+            run(
+                circuit,
+                backend="density_matrix",
+                options=RunOptions(noise_model=model),
+            ).data,
             _eager_density(circuit, model),
         )
 

@@ -169,3 +169,15 @@ class TestNoiseModelSampling:
         model = NoiseModel().set_readout_error(ReadoutError(0.5, 0.5))
         counts = sample_counts(run(Circuit(1).x(0)), 2000, seed=5, noise_model=model)
         assert counts["0"] == pytest.approx(1000, abs=150)
+
+
+class TestDynamicCircuitGuard:
+    def test_sample_counts_rejects_dynamic_circuits(self):
+        circuit = Circuit(1, num_clbits=1).h(0).measure(0, 0)
+        with pytest.raises(SimulationError, match="dynamic"):
+            sample_counts(circuit, 10)
+
+    def test_sample_memory_rejects_dynamic_circuits(self):
+        circuit = Circuit(1).h(0).reset(0)
+        with pytest.raises(SimulationError, match="dynamic"):
+            sample_memory(circuit, 10)

@@ -179,11 +179,11 @@ class TestSharedRunSignature:
         rho = DensityMatrixBackend().run(circuit, options=options)
         assert rho.fidelity(psi) == pytest.approx(1.0)
 
-    def test_legacy_keywords_still_accepted(self):
+    def test_legacy_keywords_still_accepted_but_deprecated(self):
         circuit = Circuit(1).rz(0.5, 0).rz(-0.5, 0)
-        assert StatevectorBackend().run(circuit, optimize=True) == (
-            StatevectorBackend().run(circuit)
-        )
+        with pytest.warns(DeprecationWarning, match="RunOptions"):
+            legacy = StatevectorBackend().run(circuit, optimize=True)
+        assert legacy == StatevectorBackend().run(circuit)
 
     def test_mixing_options_and_legacy_keywords_rejected(self):
         from repro import RunOptions

@@ -14,6 +14,7 @@ from repro.sim import (
     StatevectorBackend,
     run,
 )
+from repro.execution import RunOptions
 from repro.utils.exceptions import SimulationError
 
 
@@ -181,7 +182,8 @@ class TestBackendBasics:
         circuit = random_dense(4, 40, seed=9)
         backend = DensityMatrixBackend()
         assert np.allclose(
-            backend.run(circuit).data, backend.run(circuit, optimize=True).data
+            backend.run(circuit).data,
+            backend.run(circuit, options=RunOptions(optimize=True)).data,
         )
 
 
@@ -238,7 +240,7 @@ class TestNoisyEvolution:
         circuit.rz(0.7, 1).rz(-0.7, 1)  # cancels
         backend = DensityMatrixBackend()
         plain = backend.run(circuit)
-        fused = backend.run(circuit, optimize=True)
+        fused = backend.run(circuit, options=RunOptions(optimize=True))
         assert np.allclose(plain.data, fused.data, atol=1e-12)
 
     def test_statevector_backend_rejects_channels(self):

@@ -1,0 +1,71 @@
+"""Legacy ``run(optimize=/passes=/noise_model=)`` keywords are deprecated."""
+
+import warnings
+
+import pytest
+
+from repro import Circuit, NoiseModel, RunOptions, depolarizing
+from repro.sim import DensityMatrixBackend, StatevectorBackend, run
+from repro.transpile import FuseAdjacentGates
+
+
+def _caught(callable_):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        callable_()
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestLegacyKeywordDeprecation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"optimize": True},
+            {"passes": [FuseAdjacentGates()]},
+        ],
+        ids=["optimize", "passes"],
+    )
+    def test_backend_run_warns_exactly_once(self, kwargs):
+        circuit = Circuit(1).h(0)
+        caught = _caught(lambda: StatevectorBackend().run(circuit, **kwargs))
+        assert len(caught) == 1
+        assert "RunOptions" in str(caught[0].message)
+
+    def test_noise_model_keyword_warns(self):
+        model = NoiseModel().add_channel(depolarizing(0.01))
+        circuit = Circuit(1).h(0)
+        caught = _caught(
+            lambda: DensityMatrixBackend().run(circuit, noise_model=model)
+        )
+        assert len(caught) == 1
+        assert "noise_model" in str(caught[0].message)
+
+    def test_module_run_warns_exactly_once(self):
+        # The module-level run() delegates to BaseBackend.run with an
+        # already-built RunOptions, so the warning must not double up.
+        circuit = Circuit(1).h(0)
+        caught = _caught(lambda: run(circuit, optimize=True))
+        assert len(caught) == 1
+
+    def test_warning_points_at_the_caller(self):
+        circuit = Circuit(1).h(0)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run(circuit, optimize=True)
+        assert caught[0].filename == __file__
+
+    def test_options_path_is_silent(self):
+        circuit = Circuit(1).h(0)
+        options = RunOptions(optimize=True, passes=[FuseAdjacentGates()])
+        assert _caught(lambda: StatevectorBackend().run(circuit, options=options)) == []
+        assert _caught(lambda: run(circuit, options=options)) == []
+
+    def test_backend_keyword_is_not_deprecated(self):
+        circuit = Circuit(1).h(0)
+        assert _caught(lambda: run(circuit, backend="density_matrix")) == []
+
+    def test_legacy_and_options_paths_agree(self):
+        circuit = Circuit(1).rz(0.3, 0).rz(-0.3, 0)
+        with pytest.warns(DeprecationWarning):
+            legacy = run(circuit, optimize=True)
+        assert legacy == run(circuit, options=RunOptions(optimize=True))

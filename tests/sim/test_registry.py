@@ -123,4 +123,6 @@ class TestUnifiedRun:
 
     def test_run_forwards_optimize(self):
         circuit = Circuit(1).rz(0.5, 0).rz(-0.5, 0)
-        assert run(circuit, optimize=True) == run(circuit)
+        from repro import RunOptions
+
+        assert run(circuit, options=RunOptions(optimize=True)) == run(circuit)

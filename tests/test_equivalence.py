@@ -8,7 +8,7 @@ preserved to float precision — byte-identical seeded ``sample_counts``.
 import numpy as np
 import pytest
 
-from repro import Circuit, sample_counts, transpile
+from repro import Circuit, RunOptions, sample_counts, transpile
 from repro.gates import available_gates, gate_arity, get_gate
 from repro.sim import run
 from repro.utils.rng import ensure_rng
@@ -69,9 +69,11 @@ def test_wide_fusion_equivalence(seed):
 
 @pytest.mark.parametrize("seed", range(6))
 def test_backend_optimize_flag_equivalence(seed):
-    """run(..., optimize=True) is observably identical to the plain run."""
+    """Optimised runs are observably identical to plain runs."""
     circuit = _random_circuit(seed, num_gates=25)
-    _assert_equal_up_to_global_phase(run(circuit), run(circuit, optimize=True))
+    _assert_equal_up_to_global_phase(
+        run(circuit), run(circuit, options=RunOptions(optimize=True))
+    )
 
 
 def test_transpile_reduces_layered_workload():

@@ -74,6 +74,17 @@ class TestAll:
             "clear_plan_cache",
             "run_batched_sweep",
             "expectation_batched",
+            # dynamic circuits + trajectory surface
+            "Measure",
+            "Reset",
+            "Conditional",
+            "TrajectoryBackend",
+            "Circuit",
+            "execute_async",
+            "ExecutionService",
+            "Counts",
+            "sample_counts",
+            "sample_memory",
         ],
     )
     def test_new_entry_points_exported(self, name):

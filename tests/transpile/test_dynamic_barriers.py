@@ -1,0 +1,51 @@
+"""Transpiler passes treat dynamic ops as barriers and keep the clbit register."""
+
+from repro import Circuit, Instruction, transpile
+from repro.gates import get_gate
+from repro.transpile import CancelInversePairs, DropIdentities, FuseAdjacentGates
+
+
+def _names(circuit):
+    return [instruction.operation.name for instruction in circuit]
+
+
+class TestDynamicBarriers:
+    def test_measure_blocks_inverse_cancellation(self):
+        # h . measure . h must NOT cancel: the collapse between them makes
+        # the pair observably different from identity.
+        circuit = Circuit(1).h(0).measure(0, 0).h(0)
+        out = CancelInversePairs().run(circuit)
+        assert _names(out) == ["h", "measure", "h"]
+
+    def test_reset_blocks_inverse_cancellation(self):
+        circuit = Circuit(1).x(0).reset(0).x(0)
+        out = CancelInversePairs().run(circuit)
+        assert _names(out) == ["x", "reset", "x"]
+
+    def test_conditional_blocks_fusion(self):
+        circuit = (
+            Circuit(1)
+            .h(0)
+            .if_bit(0, 1, Instruction(get_gate("x"), (0,)))
+            .h(0)
+        )
+        out = FuseAdjacentGates().run(circuit)
+        # The classical branch resolves per trajectory, so the flanking
+        # unitaries must not merge across it.
+        assert _names(out) == ["h", "if[x]", "h"]
+
+    def test_dynamic_ops_survive_identity_dropping(self):
+        circuit = Circuit(1).append(get_gate("id"), (0,)).measure(0, 0).reset(0)
+        out = DropIdentities().run(circuit)
+        assert _names(out) == ["measure", "reset"]
+
+    def test_default_pipeline_preserves_clbit_register(self):
+        circuit = Circuit(2, num_clbits=3).h(0).h(0).measure(1, 2)
+        out = transpile(circuit)
+        assert out.num_clbits == 3
+        assert out.has_dynamic_ops()
+
+    def test_cancellation_still_works_between_barriers(self):
+        circuit = Circuit(1).measure(0, 0).h(0).h(0).measure(0, 1)
+        out = CancelInversePairs().run(circuit)
+        assert _names(out) == ["measure", "measure"]
