@@ -12,6 +12,9 @@ Layering (each layer depends only on the ones above it)::
     repro.plan         compiled ExecutionPlans: compile once, bind/run many,
                        batched sweeps, process-wide plan cache; dynamic ops
                        lower to MeasureOp/ResetOp/ConditionalOp
+    repro.analysis     static analysis: circuit lint rules (analyze) and
+                       compiled-plan verification (verify_plan), wired into
+                       execute() via RunOptions(validate=...)
     repro.sim          backend registry: statevector + density-matrix +
                        Monte-Carlo trajectory engines executing plans
                        through one shared loop
@@ -26,6 +29,13 @@ The public API re-exported here is the supported surface; module internals
 may move between PRs.
 """
 
+from repro.analysis import (
+    AnalysisContext,
+    AnalysisReport,
+    Diagnostic,
+    analyze,
+    verify_plan,
+)
 from repro.bench import run_suite
 from repro.circuit import (
     Channel,
@@ -99,6 +109,7 @@ from repro.transpile import (
     transpile,
 )
 from repro.utils import (
+    AnalysisError,
     CircuitError,
     ExecutionError,
     ExecutionQueueFullError,
@@ -120,7 +131,7 @@ from repro.utils import (
     spawn_seeds,
 )
 
-__version__ = "0.6.0"
+__version__ = "0.7.0"
 
 __all__ = [
     "__version__",
@@ -183,6 +194,12 @@ __all__ = [
     "compile_plan",
     "plan_cache_info",
     "run_batched_sweep",
+    # static analysis
+    "AnalysisContext",
+    "AnalysisReport",
+    "Diagnostic",
+    "analyze",
+    "verify_plan",
     # execution
     "BatchResult",
     "Job",
@@ -198,6 +215,7 @@ __all__ = [
     "run_suite",
     # utils: exceptions
     "ReproError",
+    "AnalysisError",
     "CircuitError",
     "TranspilerError",
     "SimulationError",

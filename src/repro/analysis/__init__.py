@@ -1,0 +1,62 @@
+"""Static analysis: lint circuits and verify compiled plans before running.
+
+The execution stack compiles circuits into cached
+:class:`~repro.plan.ExecutionPlan` objects that cross process boundaries
+and run in a tight contraction loop — so a wiring bug surfaces late, deep
+inside a worker shard.  This package moves those failures to *before*
+execution:
+
+- :func:`analyze` runs a registry of :class:`Rule` objects over a circuit
+  and returns an :class:`AnalysisReport` of :class:`Diagnostic` findings
+  (unused qubits/clbits, read-before-write and dead conditionals,
+  measurement overwrites, non-CPTP channels, fusion-barrier density,
+  memory-footprint estimates).
+- :func:`verify_plan` statically checks every op of a compiled plan
+  (tensor shapes vs. arity, contraction axes, dtype, clbit ranges,
+  bindability of parametric slots).
+- ``RunOptions(validate="warn"|"strict")`` wires both into
+  :func:`repro.execute`: ``warn`` routes findings into
+  ``Result.metadata["diagnostics"]``, ``strict`` raises
+  :class:`~repro.utils.exceptions.AnalysisError` on error-severity
+  findings.
+- ``python -m repro.analysis`` lints the bench workloads from the
+  command line and exits non-zero on errors.
+
+The layer sits below the simulation stack: it imports circuit/plan IR
+only, so frontends (e.g. a QASM ingester) can lint untrusted input
+without pulling in backends.
+"""
+
+from repro.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    WARNING,
+    AnalysisReport,
+    Diagnostic,
+)
+from repro.analysis.plan_verifier import verify_plan
+from repro.analysis.rules import (
+    AnalysisContext,
+    Rule,
+    analyze,
+    available_rules,
+    get_rule,
+    register_rule,
+)
+from repro.utils.exceptions import AnalysisError
+
+__all__ = [
+    "Diagnostic",
+    "AnalysisReport",
+    "AnalysisContext",
+    "AnalysisError",
+    "Rule",
+    "analyze",
+    "verify_plan",
+    "register_rule",
+    "get_rule",
+    "available_rules",
+    "ERROR",
+    "WARNING",
+    "INFO",
+]

@@ -1,0 +1,162 @@
+"""CLI linter: ``python -m repro.analysis [--smoke] [--json] [--strict]``.
+
+Runs :func:`repro.analysis.analyze` over every bench workload circuit
+(plus the parametric sweep template), compiles each through
+:func:`repro.plan.compile_plan` for its pinned backend, and verifies the
+compiled plan with :func:`repro.analysis.verify_plan`.  Exits non-zero
+when any error-severity diagnostic is found (``--strict`` also fails on
+warnings) — CI runs this in the bench-smoke job so a rule regression or
+a lowering bug blocks the merge, not the next benchmark run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis import AnalysisContext, analyze, verify_plan
+from repro.bench.workloads import default_workloads, parameterized_rotations
+from repro.circuit import Circuit
+from repro.plan import compile_plan
+from repro.sim import get_backend
+
+
+def _lint_one(
+    name: str, num_qubits: int, circuit: Circuit, backend_name: str
+) -> dict:
+    """Analyze one circuit + its compiled plan; one JSON-ready row."""
+    backend = get_backend(backend_name)
+    context = AnalysisContext(mode=backend.plan_mode)
+    report = analyze(circuit, context=context)
+    plan = compile_plan(circuit, backend)
+    report = report + verify_plan(plan)
+    return {
+        "name": name,
+        "num_qubits": num_qubits,
+        "backend": backend_name,
+        "plan_ops": len(plan),
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "infos": len(report.infos),
+        "diagnostics": list(report.as_dicts()),
+    }
+
+
+def _collect(smoke: bool, backend: Optional[str]) -> List[dict]:
+    rows = []
+    for workload in default_workloads(smoke=smoke):
+        backend_name = workload.backend or backend or "statevector"
+        rows.append(
+            _lint_one(
+                workload.name,
+                workload.num_qubits,
+                workload.build(),
+                backend_name,
+            )
+        )
+    # The sweep template rides along: parametric slots exercise the
+    # bindability checks no static workload reaches.
+    n = 4 if smoke else 8
+    template, _ = parameterized_rotations(n)
+    rows.append(_lint_one("parameterized_rotations", n, template, "statevector"))
+    return rows
+
+
+def _format_table(rows: Sequence[dict]) -> Tuple[str, List[str]]:
+    header = (
+        f"{'workload':<26} {'n':>3} {'backend':>15} {'plan_ops':>8} "
+        f"{'errors':>6} {'warnings':>8} {'infos':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    details: List[str] = []
+    for row in rows:
+        lines.append(
+            f"{row['name']:<26} {row['num_qubits']:>3} {row['backend']:>15} "
+            f"{row['plan_ops']:>8} {row['errors']:>6} {row['warnings']:>8} "
+            f"{row['infos']:>5}"
+        )
+        for diagnostic in row["diagnostics"]:
+            site = diagnostic["site"]
+            noun = "instruction" if diagnostic["scope"] == "circuit" else "op"
+            where = f" @ {noun} {site}" if site is not None else ""
+            details.append(
+                f"  {row['name']}(n={row['num_qubits']}): "
+                f"{diagnostic['severity']}[{diagnostic['code']}]{where}: "
+                f"{diagnostic['message']}"
+            )
+    return "\n".join(lines), details
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Lint the bench workload circuits and their compiled "
+        "execution plans.",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON on stdout"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small/fast CI configuration (fewer qubits)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings as well as errors",
+    )
+    parser.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        help="default backend for workloads that do not pin one "
+        "(default statevector)",
+    )
+    args = parser.parse_args(argv)
+
+    rows = _collect(smoke=args.smoke, backend=args.backend)
+    total_errors = sum(row["errors"] for row in rows)
+    total_warnings = sum(row["warnings"] for row in rows)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "workloads": rows,
+                    "total_errors": total_errors,
+                    "total_warnings": total_warnings,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        table, details = _format_table(rows)
+        print(table)
+        for line in details:
+            print(line)
+        print(
+            f"{len(rows)} circuit(s) linted: {total_errors} error(s), "
+            f"{total_warnings} warning(s)"
+        )
+
+    if total_errors:
+        print(
+            f"static analysis found {total_errors} error(s)", file=sys.stderr
+        )
+        return 1
+    if args.strict and total_warnings:
+        print(
+            f"static analysis found {total_warnings} warning(s) "
+            f"(--strict)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,221 @@
+"""Diagnostic value objects: what the static-analysis layer reports.
+
+A :class:`Diagnostic` is one finding — severity, a stable kebab-case
+code, a human-readable message, and an optional *site* (the instruction
+index in a circuit, or the op index in an :class:`~repro.plan.ExecutionPlan`,
+distinguished by :attr:`Diagnostic.scope`).  Rules yield them;
+:func:`repro.analysis.analyze` and :func:`repro.analysis.verify_plan`
+collect them into an :class:`AnalysisReport`, an immutable sequence with
+severity filters and a ``raise_if_errors`` gate for strict-mode callers.
+
+Codes are API: tests, CI gates and ``Result.metadata`` consumers match
+on them, so a code never changes meaning once shipped.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.utils.exceptions import AnalysisError
+
+#: Severity levels, most severe first.  ``ERROR`` means the circuit/plan
+#: cannot execute correctly; ``WARNING`` flags a likely bug that still
+#: runs; ``INFO`` is advisory (performance hints).
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+#: Where a diagnostic's ``site`` index points.
+_SCOPES = ("circuit", "plan")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Parameters
+    ----------
+    severity:
+        ``"error"``, ``"warning"`` or ``"info"``.
+    code:
+        Stable kebab-case identifier of the rule/check that fired
+        (e.g. ``"unused-qubit"``, ``"plan-axis-range"``).
+    message:
+        Human-readable description of the finding.
+    site:
+        Instruction index (``scope="circuit"``) or plan-op index
+        (``scope="plan"``) the finding anchors to; ``None`` for
+        register- or plan-level findings.
+    scope:
+        ``"circuit"`` or ``"plan"`` — what ``site`` indexes into.
+    """
+
+    severity: str
+    code: str
+    message: str
+    site: Optional[int] = None
+    scope: str = "circuit"
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITY_RANK:
+            raise AnalysisError(
+                f"diagnostic severity must be one of "
+                f"{sorted(_SEVERITY_RANK)}, got {self.severity!r}"
+            )
+        if not isinstance(self.code, str) or not self.code:
+            raise AnalysisError(
+                f"diagnostic code must be a non-empty string, got {self.code!r}"
+            )
+        if not isinstance(self.message, str) or not self.message:
+            raise AnalysisError(
+                f"diagnostic message must be a non-empty string, "
+                f"got {self.message!r}"
+            )
+        if self.scope not in _SCOPES:
+            raise AnalysisError(
+                f"diagnostic scope must be one of {_SCOPES}, got {self.scope!r}"
+            )
+        if self.site is not None:
+            if not isinstance(self.site, numbers.Integral) or isinstance(
+                self.site, bool
+            ):
+                raise AnalysisError(
+                    f"diagnostic site must be an int or None, got {self.site!r}"
+                )
+            if self.site < 0:
+                raise AnalysisError(
+                    f"diagnostic site must be non-negative, got {self.site}"
+                )
+            object.__setattr__(self, "site", int(self.site))
+
+    @property
+    def severity_rank(self) -> int:
+        """0 for errors, 1 for warnings, 2 for infos (sorts most-severe first)."""
+        return _SEVERITY_RANK[self.severity]
+
+    def as_dict(self) -> dict:
+        """A JSON-serialisable view of this diagnostic."""
+        return {
+            "severity": self.severity,
+            "code": self.code,
+            "message": self.message,
+            "site": self.site,
+            "scope": self.scope,
+        }
+
+    def __str__(self) -> str:
+        where = ""
+        if self.site is not None:
+            noun = "instruction" if self.scope == "circuit" else "op"
+            where = f" @ {noun} {self.site}"
+        return f"{self.severity}[{self.code}]{where}: {self.message}"
+
+
+class AnalysisReport:
+    """An immutable, ordered collection of :class:`Diagnostic` findings.
+
+    Behaves as a sequence (iteration, ``len``, indexing) and adds the
+    severity views callers actually branch on: :attr:`errors`,
+    :attr:`warnings`, :attr:`infos`, :attr:`has_errors`, plus
+    :meth:`raise_if_errors` for strict-mode gating.  Reports merge with
+    ``+`` so circuit- and plan-level findings combine into one object.
+    """
+
+    __slots__ = ("_diagnostics",)
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
+        items = tuple(diagnostics)
+        for item in items:
+            if not isinstance(item, Diagnostic):
+                raise AnalysisError(
+                    f"AnalysisReport holds Diagnostic objects, got "
+                    f"{type(item).__name__}"
+                )
+        self._diagnostics = items
+
+    @property
+    def diagnostics(self) -> Tuple[Diagnostic, ...]:
+        return self._diagnostics
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.severity == ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.severity == WARNING)
+
+    @property
+    def infos(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.severity == INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self._diagnostics)
+
+    def by_code(self, code: str) -> Tuple[Diagnostic, ...]:
+        """Every finding carrying ``code``, in report order."""
+        return tuple(d for d in self._diagnostics if d.code == code)
+
+    def codes(self) -> Tuple[str, ...]:
+        """Distinct diagnostic codes present, in first-appearance order."""
+        seen = {}
+        for d in self._diagnostics:
+            seen.setdefault(d.code, None)
+        return tuple(seen)
+
+    def raise_if_errors(self, subject: str = "circuit") -> "AnalysisReport":
+        """Raise :class:`AnalysisError` when any error-severity finding exists.
+
+        The raised error carries every error diagnostic on its
+        ``diagnostics`` attribute; warnings/infos never raise.  Returns
+        ``self`` so the call chains.
+        """
+        errors = self.errors
+        if errors:
+            details = "; ".join(str(d) for d in errors)
+            raise AnalysisError(
+                f"static analysis found {len(errors)} error(s) in {subject}: "
+                f"{details}",
+                diagnostics=errors,
+            )
+        return self
+
+    def as_dicts(self) -> Tuple[dict, ...]:
+        """JSON-serialisable rows, one per diagnostic."""
+        return tuple(d.as_dict() for d in self._diagnostics)
+
+    def __add__(self, other: "AnalysisReport") -> "AnalysisReport":
+        if not isinstance(other, AnalysisReport):
+            return NotImplemented
+        return AnalysisReport(self._diagnostics + other._diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._diagnostics)
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def __getitem__(self, index: int) -> Diagnostic:
+        return self._diagnostics[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._diagnostics)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AnalysisReport):
+            return NotImplemented
+        return self._diagnostics == other._diagnostics
+
+    def __hash__(self) -> int:
+        return hash(self._diagnostics)
+
+    def __repr__(self) -> str:
+        return (
+            f"AnalysisReport({len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), {len(self.infos)} info(s))"
+        )

@@ -1,0 +1,484 @@
+"""The circuit rule set: the :class:`Rule` protocol, registry, and built-ins.
+
+A rule is a small object with a stable ``code`` and a
+``check(circuit, context)`` method yielding :class:`Diagnostic` findings.
+Rules register by code in a process-wide registry — the same shape as the
+gate and backend registries (:mod:`repro.gates.registry`,
+:mod:`repro.sim.registry`) — so downstream frontends (e.g. a QASM
+ingester) can ship their own rules without touching this module.
+
+:func:`analyze` is the driver: it runs every requested rule over one
+circuit and returns the combined
+:class:`~repro.analysis.diagnostics.AnalysisReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+from repro.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    WARNING,
+    AnalysisReport,
+    Diagnostic,
+)
+from repro.circuit import Circuit
+from repro.utils.exceptions import AnalysisError
+
+_GIB = 1024**3
+
+
+@dataclass(frozen=True)
+class AnalysisContext:
+    """Ambient facts rules may consult; safe defaults for bare ``analyze()``.
+
+    Parameters
+    ----------
+    mode:
+        The plan mode the circuit is headed for (``"statevector"``,
+        ``"density"``, ``"trajectory"``) or ``None`` when unknown —
+        the resource rule then assumes the cheaper pure-state estimate.
+    max_memory_bytes:
+        State tensors estimated above this are *errors* (the run cannot
+        reasonably fit).
+    warn_memory_bytes:
+        State tensors estimated above this (but under the hard limit)
+        are warnings.
+    itemsize:
+        Bytes per amplitude (16 for complex128).
+    """
+
+    mode: Optional[str] = None
+    max_memory_bytes: int = 64 * _GIB
+    warn_memory_bytes: int = 4 * _GIB
+    itemsize: int = 16
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """What the analyzer drives: a code plus a ``check`` method."""
+
+    code: str
+
+    def check(
+        self, circuit: Circuit, context: AnalysisContext
+    ) -> Iterable[Diagnostic]:
+        """Yield findings for ``circuit``; empty when the rule passes."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# registry (mirrors repro.gates.registry / repro.sim.registry)
+# ----------------------------------------------------------------------
+_RULES: Dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule, replace: bool = False) -> None:
+    """Register ``rule`` under ``rule.code``.
+
+    Duplicate codes are rejected unless ``replace=True`` — silently
+    shadowing a rule is how checks rot away unnoticed.
+    """
+    code = getattr(rule, "code", None)
+    if not isinstance(code, str) or not code:
+        raise AnalysisError(
+            f"rule must carry a non-empty string 'code', got {code!r}"
+        )
+    if not callable(getattr(rule, "check", None)):
+        raise AnalysisError(f"rule {code!r} must define a check() method")
+    if code in _RULES and not replace:
+        raise AnalysisError(
+            f"rule {code!r} is already registered; pass replace=True to "
+            "override it"
+        )
+    _RULES[code] = rule
+
+
+def get_rule(code: str) -> Rule:
+    """Look up a registered rule by code."""
+    try:
+        return _RULES[code]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown analysis rule {code!r}; registered rules: "
+            f"{sorted(_RULES)}"
+        ) from None
+
+
+def available_rules() -> Tuple[str, ...]:
+    """Registered rule codes, in registration order."""
+    return tuple(_RULES)
+
+
+# ----------------------------------------------------------------------
+# built-in rules
+# ----------------------------------------------------------------------
+class UnusedQubitRule:
+    """Qubits no instruction touches: usually an off-by-one in a builder."""
+
+    code = "unused-qubit"
+
+    def check(
+        self, circuit: Circuit, context: AnalysisContext
+    ) -> Iterator[Diagnostic]:
+        active = set(circuit.active_qubits())
+        for qubit in range(circuit.num_qubits):
+            if qubit not in active:
+                yield Diagnostic(
+                    WARNING,
+                    self.code,
+                    f"qubit {qubit} is never used by any instruction",
+                )
+
+
+class UnusedClbitRule:
+    """Classical bits never written (measured into) nor read (branched on)."""
+
+    code = "unused-clbit"
+
+    def check(
+        self, circuit: Circuit, context: AnalysisContext
+    ) -> Iterator[Diagnostic]:
+        touched = set()
+        for instruction in circuit:
+            if instruction.is_measure or instruction.is_conditional:
+                touched.add(instruction.operation.clbit)
+        for clbit in range(circuit.num_clbits):
+            if clbit not in touched:
+                yield Diagnostic(
+                    WARNING,
+                    self.code,
+                    f"clbit {clbit} is never measured into nor branched on",
+                )
+
+
+class ReadBeforeWriteRule:
+    """``if_bit`` reads a clbit before the measure that writes it.
+
+    The branch then always sees the initial 0 — almost certainly the
+    measure and the conditional are in the wrong order.  Clbits that are
+    *never* written are the dead-conditional rule's finding, not this
+    one's.
+    """
+
+    code = "clbit-read-before-write"
+
+    def check(
+        self, circuit: Circuit, context: AnalysisContext
+    ) -> Iterator[Diagnostic]:
+        first_write: Dict[int, int] = {}
+        for index, instruction in enumerate(circuit):
+            if instruction.is_measure:
+                first_write.setdefault(instruction.operation.clbit, index)
+        for index, instruction in enumerate(circuit):
+            if not instruction.is_conditional:
+                continue
+            clbit = instruction.operation.clbit
+            if clbit in first_write and first_write[clbit] > index:
+                yield Diagnostic(
+                    WARNING,
+                    self.code,
+                    f"conditional reads clbit {clbit} before the first "
+                    f"measurement that writes it (instruction "
+                    f"{first_write[clbit]}); the branch always sees 0",
+                    site=index,
+                )
+
+
+class DeadConditionalRule:
+    """``if_bit`` on a clbit no measurement ever writes: a constant branch."""
+
+    code = "dead-conditional"
+
+    def check(
+        self, circuit: Circuit, context: AnalysisContext
+    ) -> Iterator[Diagnostic]:
+        written = {
+            instruction.operation.clbit
+            for instruction in circuit
+            if instruction.is_measure
+        }
+        for index, instruction in enumerate(circuit):
+            if not instruction.is_conditional:
+                continue
+            operation = instruction.operation
+            if operation.clbit not in written:
+                fate = "always" if operation.value == 0 else "never"
+                yield Diagnostic(
+                    WARNING,
+                    self.code,
+                    f"conditional branches on clbit {operation.clbit}, which "
+                    f"no measurement writes — the register reads 0, so the "
+                    f"gate {fate} applies",
+                    site=index,
+                )
+
+
+class MeasureOverwriteRule:
+    """A second measurement into a clbit whose value was never read."""
+
+    code = "measure-overwrite"
+
+    def check(
+        self, circuit: Circuit, context: AnalysisContext
+    ) -> Iterator[Diagnostic]:
+        last_write: Dict[int, int] = {}
+        read_since: Dict[int, bool] = {}
+        for index, instruction in enumerate(circuit):
+            if instruction.is_conditional:
+                read_since[instruction.operation.clbit] = True
+                continue
+            if not instruction.is_measure:
+                continue
+            clbit = instruction.operation.clbit
+            if clbit in last_write and not read_since.get(clbit, False):
+                yield Diagnostic(
+                    WARNING,
+                    self.code,
+                    f"measurement overwrites clbit {clbit} (written at "
+                    f"instruction {last_write[clbit]}) before anything "
+                    f"reads it — the first outcome is lost",
+                    site=index,
+                )
+            last_write[clbit] = index
+            read_since[clbit] = False
+
+
+class ChannelRule:
+    """Channels whose Kraus set is ill-shaped or not trace preserving.
+
+    Construction validates both, but ``Channel(..., validate=False)``
+    skips the CPTP check and unpickling/corruption can damage shapes —
+    either way the simulation silently leaks or gains probability, so
+    this is an error, not a warning.
+    """
+
+    code = "non-cptp-channel"
+
+    def check(
+        self, circuit: Circuit, context: AnalysisContext
+    ) -> Iterator[Diagnostic]:
+        for index, instruction in enumerate(circuit):
+            if not instruction.is_channel:
+                continue
+            channel = instruction.operation
+            dim = 2**channel.num_qubits
+            bad_shapes = [
+                op.shape for op in channel.kraus if op.shape != (dim, dim)
+            ]
+            if not channel.kraus:
+                yield Diagnostic(
+                    ERROR,
+                    self.code,
+                    f"channel {channel.name!r} has no Kraus operators",
+                    site=index,
+                )
+                continue
+            if bad_shapes:
+                yield Diagnostic(
+                    ERROR,
+                    self.code,
+                    f"channel {channel.name!r} has Kraus operator(s) of "
+                    f"shape {bad_shapes} where ({dim}, {dim}) is required",
+                    site=index,
+                )
+                continue
+            try:
+                trace_preserving = channel.is_trace_preserving()
+            except Exception as exc:
+                yield Diagnostic(
+                    ERROR,
+                    self.code,
+                    f"channel {channel.name!r} CPTP check failed: {exc}",
+                    site=index,
+                )
+                continue
+            if not trace_preserving:
+                yield Diagnostic(
+                    ERROR,
+                    self.code,
+                    f"channel {channel.name!r} is not trace preserving "
+                    f"(sum K†K != I): probability leaks every application",
+                    site=index,
+                )
+
+
+class FusionBarrierRule:
+    """Circuits dominated by fusion barriers: ``FuseAdjacentGates`` is moot.
+
+    Channels, dynamic ops (measure/reset/if_bit) and unbound parametric
+    gates are all barriers the fusion pass cannot cross.  When at least
+    half of a non-trivial circuit is barriers, transpiling buys little —
+    an advisory finding, not a bug.
+    """
+
+    code = "fusion-barrier-density"
+
+    #: Below this many instructions density is noise, not signal.
+    min_instructions = 4
+    threshold = 0.5
+
+    def check(
+        self, circuit: Circuit, context: AnalysisContext
+    ) -> Iterator[Diagnostic]:
+        total = len(circuit)
+        if total < self.min_instructions:
+            return
+        barriers = sum(
+            1
+            for instruction in circuit
+            if instruction.is_channel
+            or instruction.is_dynamic
+            or instruction.is_parametric
+        )
+        density = barriers / total
+        if density >= self.threshold:
+            yield Diagnostic(
+                INFO,
+                self.code,
+                f"{barriers} of {total} instructions "
+                f"({density:.0%}) are fusion barriers "
+                f"(channels/dynamic ops/parametric gates); gate fusion "
+                f"will have little effect",
+            )
+
+
+class ResourceRule:
+    """Predicts state-tensor memory and flags runs that will not fit.
+
+    A pure state costs ``itemsize * 2**n`` bytes, a density matrix
+    ``itemsize * 4**n`` — estimates above the context's warn threshold
+    are warnings, above the hard limit errors, *before* the first
+    allocation happens inside a worker process.
+    """
+
+    code = "resource-limit"
+
+    def check(
+        self, circuit: Circuit, context: AnalysisContext
+    ) -> Iterator[Diagnostic]:
+        n = circuit.num_qubits
+        density = context.mode == "density"
+        amplitudes = 4**n if density else 2**n
+        estimate = amplitudes * context.itemsize
+        if estimate <= context.warn_memory_bytes:
+            return
+        kind = "density matrix" if density else "statevector"
+        scaling = "4**n" if density else "2**n"
+        message = (
+            f"{kind} for {n} qubits needs ~{estimate / _GIB:.1f} GiB "
+            f"({scaling} amplitudes x {context.itemsize} bytes)"
+        )
+        if estimate > context.max_memory_bytes:
+            yield Diagnostic(
+                ERROR,
+                self.code,
+                f"{message}, over the {context.max_memory_bytes / _GIB:.1f} "
+                f"GiB limit — this run will not fit",
+            )
+        else:
+            yield Diagnostic(
+                WARNING,
+                self.code,
+                f"{message}, over the "
+                f"{context.warn_memory_bytes / _GIB:.1f} GiB warning "
+                f"threshold",
+            )
+
+
+for _rule in (
+    UnusedQubitRule(),
+    UnusedClbitRule(),
+    ReadBeforeWriteRule(),
+    DeadConditionalRule(),
+    MeasureOverwriteRule(),
+    ChannelRule(),
+    FusionBarrierRule(),
+    ResourceRule(),
+):
+    register_rule(_rule)
+del _rule
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def analyze(
+    circuit: Circuit,
+    rules: Optional[Iterable[Union[str, Rule]]] = None,
+    *,
+    context: Optional[AnalysisContext] = None,
+) -> AnalysisReport:
+    """Run static-analysis rules over ``circuit``.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to lint; never executed, never mutated.
+    rules:
+        ``None`` for every registered rule (registration order), or an
+        iterable of rule codes / :class:`Rule` instances to run a subset
+        (or unregistered ad-hoc rules).
+    context:
+        Ambient facts (target plan mode, memory limits); defaults to
+        :class:`AnalysisContext`'s conservative values.
+
+    Returns
+    -------
+    AnalysisReport
+        Every finding, in rule order then circuit order.
+    """
+    if not isinstance(circuit, Circuit):
+        raise AnalysisError(
+            f"analyze expects a Circuit, got {type(circuit).__name__}"
+        )
+    if context is None:
+        context = AnalysisContext()
+    if rules is None:
+        selected: List[Rule] = list(_RULES.values())
+    else:
+        selected = []
+        for entry in rules:
+            if isinstance(entry, str):
+                selected.append(get_rule(entry))
+            elif callable(getattr(entry, "check", None)):
+                selected.append(entry)
+            else:
+                raise AnalysisError(
+                    f"rules entries must be codes or Rule objects, got "
+                    f"{entry!r}"
+                )
+    diagnostics: List[Diagnostic] = []
+    for rule in selected:
+        diagnostics.extend(rule.check(circuit, context))
+    return AnalysisReport(diagnostics)
+
+
+__all__ = [
+    "AnalysisContext",
+    "Rule",
+    "register_rule",
+    "get_rule",
+    "available_rules",
+    "analyze",
+    "UnusedQubitRule",
+    "UnusedClbitRule",
+    "ReadBeforeWriteRule",
+    "DeadConditionalRule",
+    "MeasureOverwriteRule",
+    "ChannelRule",
+    "FusionBarrierRule",
+    "ResourceRule",
+]

@@ -506,12 +506,12 @@ def _bench_trajectory(smoke: bool, seed: int, repeats: int) -> Dict[str, object]
         layered_damped(num_qubits, layers=layers),
     ):
 
-        def run_density():
+        def run_density(circuit=circuit):
             return execute(
                 circuit, backend="density_matrix", observables=(observable,)
             )
 
-        def run_trajectory():
+        def run_trajectory(circuit=circuit):
             return execute(
                 circuit,
                 backend="trajectory",

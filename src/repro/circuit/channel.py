@@ -90,14 +90,24 @@ class Channel:
                 f"sum(K†K) deviates from the identity beyond atol={atol}"
             )
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: tuple) -> None:
         # Default __slots__ pickling restores attributes but loses the Kraus
         # operators' read-only flag (numpy arrays unpickle writeable);
         # re-freeze so an unpickled channel keeps the immutability contract.
         _, slots = state
         for name, value in slots.items():
             setattr(self, name, value)
-        for operator in self._kraus:
+        # Re-check the shape invariant: pickles cross process boundaries
+        # (worker pools, job queues), so a corrupted payload must fail
+        # here — loudly, with the constructor's error — not as an axis
+        # error deep inside a contraction loop.
+        dim = 1 << self._num_qubits
+        for i, operator in enumerate(self._kraus):
+            if operator.shape != (dim, dim):
+                raise CircuitError(
+                    f"Kraus operator {i} has shape {operator.shape}, expected "
+                    f"{(dim, dim)} for {self._num_qubits} qubit(s)"
+                )
             operator.setflags(write=False)
 
     @property

@@ -81,10 +81,10 @@ class CircuitStats:
         object.__setattr__(self, "num_resets", int(num_resets))
         object.__setattr__(self, "num_conditionals", int(num_conditionals))
 
-    def __setattr__(self, name: str, value) -> None:
+    def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("CircuitStats is immutable")
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         # The gate_counts mappingproxy cannot pickle; rebuild through
         # __init__ (which re-wraps a private copy) so stats — and the
         # ExecutionPlans that carry them to worker processes — round-trip.
@@ -163,22 +163,27 @@ class CircuitStats:
 class Circuit:
     """An ordered gate-instruction list over a fixed-width qubit register."""
 
-    __slots__ = ("_num_qubits", "_name", "_instructions", "_num_clbits")
+    __slots__ = ("_num_qubits", "_name", "_instructions", "_num_clbits", "_clbits_pinned")
 
     def __init__(
         self,
         num_qubits: int,
         name: Optional[str] = None,
-        num_clbits: int = 0,
+        num_clbits: Optional[int] = None,
     ) -> None:
         if num_qubits < 1:
             raise CircuitError(f"circuit needs >= 1 qubit, got {num_qubits}")
-        if num_clbits < 0:
+        if num_clbits is not None and num_clbits < 0:
             raise CircuitError(f"circuit needs >= 0 clbits, got {num_clbits}")
         self._num_qubits = int(num_qubits)
         self._name = name
         self._instructions: List[Instruction] = []
-        self._num_clbits = int(num_clbits)
+        # An explicit width pins the classical register: appends referencing
+        # clbits beyond it raise instead of silently widening, so a typo'd
+        # index fails at build time rather than at lowering.  The default
+        # (None) keeps the historical auto-widening register starting at 0.
+        self._clbits_pinned = num_clbits is not None
+        self._num_clbits = int(num_clbits) if num_clbits is not None else 0
 
     # ------------------------------------------------------------------
     # basic properties
@@ -192,9 +197,22 @@ class Circuit:
         """Width of the classical register.
 
         Grows automatically as ``measure``/``if_bit`` reference higher
-        clbit indices; may be preallocated wider via the constructor.
+        clbit indices, unless an explicit width was passed to the
+        constructor — then the register is *pinned* and out-of-range
+        references raise at append time (see :attr:`clbits_pinned`).
         """
         return self._num_clbits
+
+    @property
+    def clbits_pinned(self) -> bool:
+        """Whether the classical register width is fixed.
+
+        ``True`` when the constructor received an explicit ``num_clbits``:
+        appends referencing clbits at or beyond the width raise
+        :class:`~repro.utils.exceptions.CircuitError` eagerly.  ``False``
+        (the default) keeps the auto-widening register.
+        """
+        return self._clbits_pinned
 
     @property
     def name(self) -> Optional[str]:
@@ -210,7 +228,7 @@ class Circuit:
     def __iter__(self) -> Iterator[Instruction]:
         return iter(self._instructions)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int) -> Instruction:
         return self._instructions[index]
 
     def __eq__(self, other: object) -> bool:
@@ -237,7 +255,8 @@ class Circuit:
 
         Validates indices against the register; returns ``self`` so calls
         can be chained.  Dynamic operations referencing a clbit beyond the
-        current classical register widen it.
+        current classical register widen it — unless the register is
+        pinned, in which case they raise eagerly.
         """
         instruction = Instruction(operation, qubits)
         out_of_range = [q for q in instruction.qubits if q >= self._num_qubits]
@@ -246,8 +265,14 @@ class Circuit:
                 f"qubit(s) {out_of_range} out of range for a "
                 f"{self._num_qubits}-qubit circuit"
             )
+        clbits_needed = clbits_used(operation)
+        if self._clbits_pinned and clbits_needed > self._num_clbits:
+            raise CircuitError(
+                f"clbit {clbits_needed - 1} out of range for a pinned "
+                f"{self._num_clbits}-clbit classical register"
+            )
         self._instructions.append(instruction)
-        self._num_clbits = max(self._num_clbits, clbits_used(operation))
+        self._num_clbits = max(self._num_clbits, clbits_needed)
         return self
 
     def extend(self, instructions: Sequence[Instruction]) -> "Circuit":
@@ -261,6 +286,7 @@ class Circuit:
             name if name is not None else self._name,
             num_clbits=self._num_clbits,
         )
+        out._clbits_pinned = self._clbits_pinned
         out._instructions = list(self._instructions)
         return out
 
@@ -292,8 +318,11 @@ class Circuit:
                 raise CircuitError(f"duplicate qubits in mapping: {mapping}")
         out = self.copy()
         # Clbit indices are global (there is one classical register), so
-        # composition keeps them verbatim; only the qubits remap.
+        # composition keeps them verbatim; only the qubits remap.  The
+        # merged register takes the wider width and stays pinned if either
+        # side was.
         out._num_clbits = max(out._num_clbits, other._num_clbits)
+        out._clbits_pinned = self._clbits_pinned or other._clbits_pinned
         for instruction in other:
             out.append(
                 instruction.operation, tuple(mapping[q] for q in instruction.qubits)
@@ -312,6 +341,7 @@ class Circuit:
         """Relabel qubits: instruction qubit ``q`` becomes ``mapping[q]``."""
         width = num_qubits if num_qubits is not None else self._num_qubits
         out = Circuit(width, self._name, num_clbits=self._num_clbits)
+        out._clbits_pinned = self._clbits_pinned
         for instruction in self._instructions:
             moved = instruction.remapped(mapping)
             out.append(moved.operation, moved.qubits)
@@ -429,6 +459,7 @@ class Circuit:
             CircuitError,
         )
         out = Circuit(self._num_qubits, self._name, num_clbits=self._num_clbits)
+        out._clbits_pinned = self._clbits_pinned
         for instruction in self._instructions:
             operation = instruction.operation
             if instruction.is_parametric:
@@ -485,7 +516,7 @@ class Circuit:
     def u3(self, theta: float, phi: float, lam: float, qubit: int) -> "Circuit":
         return self._append_std("u3", (qubit,), theta, phi, lam)
 
-    def unitary(self, matrix, qubits: Sequence[int]) -> "Circuit":
+    def unitary(self, matrix: object, qubits: Sequence[int]) -> "Circuit":
         """Append an explicit-matrix ``unitary`` gate on ``qubits``.
 
         ``matrix`` must be a unitary of dimension ``2**len(qubits)``;

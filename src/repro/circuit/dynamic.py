@@ -25,7 +25,7 @@ from repro.circuit.gate import Gate
 from repro.utils.exceptions import CircuitError
 
 
-def _as_clbit(clbit) -> int:
+def _as_clbit(clbit: object) -> int:
     if isinstance(clbit, bool) or not isinstance(clbit, int):
         raise CircuitError(
             f"clbit index must be an int, got {type(clbit).__name__}"
@@ -158,7 +158,7 @@ class Conditional:
 DynamicOperation = (Measure, Reset, Conditional)
 
 
-def clbits_used(operation) -> int:
+def clbits_used(operation: object) -> int:
     """Classical-register width implied by ``operation`` (0 for static ops)."""
     if isinstance(operation, (Measure, Conditional)):
         return operation.clbit + 1

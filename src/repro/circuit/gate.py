@@ -93,7 +93,7 @@ class Gate:
                 )
             self._matrix = _as_readonly_matrix(matrix, num_qubits)
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: tuple) -> None:
         # Default __slots__ pickling restores attributes but loses the
         # matrix's read-only flag (numpy arrays unpickle writeable);
         # re-freeze so an unpickled gate keeps the immutability contract.

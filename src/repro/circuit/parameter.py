@@ -13,6 +13,8 @@ slot.
 
 from __future__ import annotations
 
+from typing import Dict, Iterable, Mapping, Type, Union
+
 from repro.utils.exceptions import CircuitError
 
 
@@ -50,7 +52,11 @@ class Parameter:
         return f"Parameter({self._name!r})"
 
 
-def normalize_binding(binding, error_cls=CircuitError, label="binding"):
+def normalize_binding(
+    binding: Mapping[Union["Parameter", str], float],
+    error_cls: Type[Exception] = CircuitError,
+    label: str = "binding",
+) -> Dict[str, float]:
     """Resolve a ``{Parameter | str: value}`` mapping to ``{name: float}``.
 
     The one canonical implementation of binding-key normalization —
@@ -60,7 +66,7 @@ def normalize_binding(binding, error_cls=CircuitError, label="binding"):
     the layer's exception type; ``label`` prefixes messages (e.g.
     ``"sweep point 3"``).
     """
-    values = {}
+    values: Dict[str, float] = {}
     for key, value in binding.items():
         name = key.name if isinstance(key, Parameter) else str(key)
         value = float(value)
@@ -73,13 +79,13 @@ def normalize_binding(binding, error_cls=CircuitError, label="binding"):
 
 
 def validate_binding_names(
-    values,
-    known,
-    error_cls=CircuitError,
-    label="binding",
-    subject="circuit",
-    require_complete=False,
-):
+    values: Mapping[str, float],
+    known: Iterable[str],
+    error_cls: Type[Exception] = CircuitError,
+    label: str = "binding",
+    subject: str = "circuit",
+    require_complete: bool = False,
+) -> Mapping[str, float]:
     """Reject stray (and, optionally, missing) names in a normalized binding.
 
     ``known`` is the set of parameter names the ``subject`` (circuit,

@@ -25,7 +25,18 @@ Batching semantics worth knowing:
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -43,6 +54,10 @@ from repro.sim.registry import get_backend
 from repro.utils.bitstrings import bitstring_to_index, index_to_bitstring
 from repro.utils.exceptions import ExecutionError
 from repro.utils.rng import derive_seed, ensure_rng
+
+if TYPE_CHECKING:
+    from repro.analysis import AnalysisReport
+    from repro.plan.plan import ExecutionPlan
 
 Sweep = Sequence[Mapping[Union[Parameter, str], float]]
 
@@ -81,7 +96,13 @@ def _normalise_sweep(parameter_sweep: Sweep, circuit: Circuit) -> List[Dict[str,
     return points
 
 
-def sample_shard(probs, shots: int, seed: Optional[int], num_qubits: int, memory: bool):
+def sample_shard(
+    probs: np.ndarray,
+    shots: int,
+    seed: Optional[int],
+    num_qubits: int,
+    memory: bool,
+) -> Tuple[Counts, Optional[List[str]]]:
     """Counts (and optional per-shot memory) for one shard of shots.
 
     The unit of sampling work: one probability vector, one shot budget,
@@ -102,8 +123,12 @@ def sample_shard(probs, shots: int, seed: Optional[int], num_qubits: int, memory
 
 
 def _sample_probs(
-    probs, num_bits: int, options: RunOptions, element_index: int, workers: int = 1
-):
+    probs: np.ndarray,
+    num_bits: int,
+    options: RunOptions,
+    element_index: int,
+    workers: int = 1,
+) -> Tuple[Counts, Optional[List[str]]]:
     """Counts/memory drawn from a precomputed probability vector.
 
     With ``shard_shots`` <= 1 this is the classic single-stream sampler
@@ -143,7 +168,9 @@ def _sample_probs(
     )
 
 
-def _sample(state, options: RunOptions, element_index: int, workers: int = 1):
+def _sample(
+    state: Any, options: RunOptions, element_index: int, workers: int = 1
+) -> Tuple[Counts, Optional[List[str]]]:
     """Counts/memory for batch or sweep element ``element_index``.
 
     Computes the readout distribution of ``state`` (noise-model readout
@@ -153,7 +180,14 @@ def _sample(state, options: RunOptions, element_index: int, workers: int = 1):
     return _sample_probs(probs, state.num_qubits, options, element_index, workers)
 
 
-def element_payload(plan, point, index: int, options: RunOptions, backend, workers: int = 1):
+def element_payload(
+    plan: "ExecutionPlan",
+    point: Optional[Mapping[str, float]],
+    index: int,
+    options: RunOptions,
+    backend: Any,
+    workers: int = 1,
+) -> Dict[str, Any]:
     """Execute one compiled element: bind (sweeps), evolve, sample, measure.
 
     The shared per-element body of per-element sweeps and batches.  It
@@ -194,7 +228,14 @@ def element_payload(plan, point, index: int, options: RunOptions, backend, worke
     }
 
 
-def trajectory_shard(plan, element_index: int, start: int, count: int, options, backend):
+def trajectory_shard(
+    plan: "ExecutionPlan",
+    element_index: int,
+    start: int,
+    count: int,
+    options: RunOptions,
+    backend: Any,
+) -> Dict[str, Any]:
     """Run trajectories ``[start, start + count)`` of one element.
 
     The unit of trajectory work, mirroring :func:`sample_shard` for
@@ -239,7 +280,13 @@ def trajectory_shard(plan, element_index: int, start: int, count: int, options, 
     }
 
 
-def _trajectory_element(plan, index: int, options: RunOptions, backend, workers: int):
+def _trajectory_element(
+    plan: "ExecutionPlan",
+    index: int,
+    options: RunOptions,
+    backend: Any,
+    workers: int,
+) -> Dict[str, Any]:
     """Shot-resolved dynamic execution: ``shots`` independent trajectories.
 
     Counts/memory tally the per-trajectory outcomes; expectation values
@@ -301,7 +348,13 @@ def _trajectory_element(plan, index: int, options: RunOptions, backend, workers:
     }
 
 
-def _dynamic_payload(plan, index: int, options: RunOptions, backend, workers: int):
+def _dynamic_payload(
+    plan: "ExecutionPlan",
+    index: int,
+    options: RunOptions,
+    backend: Any,
+    workers: int,
+) -> Dict[str, Any]:
     """Per-element payload for a plan with dynamic ops.
 
     Density mode stays deterministic: one branch-bookkeeping evolution
@@ -372,6 +425,35 @@ def _dynamic_payload(plan, index: int, options: RunOptions, backend, workers: in
     return _trajectory_element(plan, index, options, backend, workers)
 
 
+def _circuit_reports(
+    circuits: Sequence[Circuit], backend: Any, options: RunOptions
+) -> Optional[List["AnalysisReport"]]:
+    """Static-analysis reports per circuit, or ``None`` when validation is off.
+
+    Runs :func:`repro.analysis.analyze` on the circuits *as submitted*
+    (pre-transpile), so diagnostic sites index the user's instructions.
+    The import is lazy: ``validate="off"`` (the default) keeps the hot
+    path free of the analysis layer entirely.
+    """
+    if options.validate == "off":
+        return None
+    from repro.analysis import AnalysisContext, analyze
+
+    context = AnalysisContext(mode=getattr(backend, "plan_mode", None))
+    return [analyze(circuit, context=context) for circuit in circuits]
+
+
+def _enforce_validation(
+    reports: Optional[Sequence["AnalysisReport"]], options: RunOptions
+) -> None:
+    """Under ``validate="strict"``, raise on any error-severity finding."""
+    if options.validate != "strict":
+        return
+    for index, report in enumerate(reports):
+        subject = f"circuit {index}" if len(reports) > 1 else "the circuit"
+        report.raise_if_errors(subject)
+
+
 def _effective_workers(options: RunOptions) -> int:
     from repro.service.pool import resolve_max_workers
 
@@ -388,7 +470,13 @@ def _worker_options(options: RunOptions) -> RunOptions:
     return options.replace(passes=None, backend=None)
 
 
-def _parallel_elements(plan_blobs, points, options: RunOptions, backend, workers: int):
+def _parallel_elements(
+    plan_blobs: Sequence[bytes],
+    points: Sequence[Optional[Dict[str, float]]],
+    options: RunOptions,
+    backend: Any,
+    workers: int,
+) -> List[Dict[str, Any]]:
     """Fan per-element work out to the pool; payload dicts in index order."""
     from repro.service.pool import _element_task, run_tasks
 
@@ -400,7 +488,9 @@ def _parallel_elements(plan_blobs, points, options: RunOptions, backend, workers
     return run_tasks(_element_task, tasks, workers)
 
 
-def _compile_timed(circuit: Circuit, backend, options: RunOptions):
+def _compile_timed(
+    circuit: Circuit, backend: Any, options: RunOptions
+) -> Tuple["ExecutionPlan", float, float]:
     """Compile via the plan cache, attributing only THIS call's work.
 
     Returns ``(plan, compile_time_s, transpile_time_s)`` where both
@@ -420,7 +510,9 @@ def _compile_timed(circuit: Circuit, backend, options: RunOptions):
     return plan, compile_time, (plan.transpile_time_s if compiled_now else 0.0)
 
 
-def _sweep_is_batchable(template: Circuit, backend, options: RunOptions) -> bool:
+def _sweep_is_batchable(
+    template: Circuit, backend: Any, options: RunOptions
+) -> bool:
     """Whether a sweep can stack into one batched state evolution.
 
     Batched evolution is pure-state arithmetic with no per-element
@@ -440,7 +532,7 @@ def _sweep_is_batchable(template: Circuit, backend, options: RunOptions) -> bool
 
 def _run_sweep(
     template: Circuit,
-    backend,
+    backend: Any,
     options: RunOptions,
     bindings: List[Dict[str, float]],
     start: float,
@@ -471,6 +563,7 @@ def _run_sweep(
             "'auto' to fall back to per-element execution"
         )
     use_batched = batchable and options.sweep_mode != "per_element"
+    reports = _circuit_reports([template], backend, options)
 
     plan = None
     if plan_capable:
@@ -479,7 +572,7 @@ def _run_sweep(
         )
         bound_template = plan.circuit
 
-        def run_point(point: Dict[str, float]):
+        def run_point(point: Dict[str, float]) -> Any:
             return backend.execute_plan(plan.bind(point))
 
     else:
@@ -494,8 +587,20 @@ def _run_sweep(
             transpile_time = time.perf_counter() - t0
         element_options = options.replace(optimize=False, passes=None)
 
-        def run_point(point: Dict[str, float]):
+        def run_point(point: Dict[str, float]) -> Any:
             return backend.run(bound_template.bind(point), options=element_options)
+
+    diagnostics = None
+    if reports is not None:
+        # Every sweep element runs the same template, so one report
+        # (circuit + compiled-plan findings) covers the whole sweep.
+        report = reports[0]
+        if plan is not None:
+            from repro.analysis import verify_plan
+
+            report = report + verify_plan(plan)
+        _enforce_validation([report], options)
+        diagnostics = tuple(report)
 
     workers = _effective_workers(options)
     results: List[Result] = []
@@ -514,6 +619,14 @@ def _run_sweep(
         for index, point in enumerate(bindings):
             state = backend._finalize(batch_states[index], plan.num_qubits)
             values = tuple(values[index] for values in per_observable)
+            metadata = {
+                "backend": backend.name,
+                "seed": derive_seed(options.seed, index),
+                "run_time_s": element_time,
+                "sample_time_s": 0.0,
+            }
+            if diagnostics is not None:
+                metadata["diagnostics"] = diagnostics
             results.append(
                 Result(
                     # Deferred: Result.circuit resolves the bound circuit
@@ -525,12 +638,7 @@ def _run_sweep(
                     observables=options.observables,
                     expectation_values=values,
                     parameters=point,
-                    metadata={
-                        "backend": backend.name,
-                        "seed": derive_seed(options.seed, index),
-                        "run_time_s": element_time,
-                        "sample_time_s": 0.0,
-                    },
+                    metadata=metadata,
                 )
             )
     else:
@@ -593,6 +701,8 @@ def _run_sweep(
             }
             if "expectation_std" in payload:
                 metadata["expectation_std"] = payload["expectation_std"]
+            if diagnostics is not None:
+                metadata["diagnostics"] = diagnostics
             results.append(
                 Result(
                     lambda point=point: bound_template.bind(point),
@@ -631,6 +741,7 @@ def _run_batch(
         return _run_sweep(circuits[0], backend, options, bindings, start)
 
     plan_capable = getattr(backend, "plan_mode", None) is not None
+    reports = _circuit_reports(circuits, backend, options)
     transpile_time = 0.0
     compile_time = 0.0
     if not plan_capable and (options.optimize or options.passes is not None):
@@ -666,6 +777,14 @@ def _run_batch(
             compile_time += element_compile
             transpile_time += element_transpile
             plans.append(plan)
+        if reports is not None:
+            from repro.analysis import verify_plan
+
+            reports = [
+                report + verify_plan(plan)
+                for report, plan in zip(reports, plans)
+            ]
+            _enforce_validation(reports, options)
         result_circuits = [plan.circuit for plan in plans]
         if workers > 1 and len(plans) > 1:
             from repro.service.pool import dump_plan
@@ -682,6 +801,8 @@ def _run_batch(
                 for index, plan in enumerate(plans)
             ]
     else:
+        if reports is not None:
+            _enforce_validation(reports, options)
         result_circuits = circuits
         payloads = []
         for index, circuit in enumerate(circuits):
@@ -720,6 +841,8 @@ def _run_batch(
         }
         if "expectation_std" in payload:
             metadata["expectation_std"] = payload["expectation_std"]
+        if reports is not None:
+            metadata["diagnostics"] = tuple(reports[payload["index"]])
         results.append(
             Result(
                 result_circuit,

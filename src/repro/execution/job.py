@@ -10,9 +10,25 @@ outcome is cached, so a handle can be passed around freely.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.utils.exceptions import ExecutionError
+
+if TYPE_CHECKING:
+    from repro.circuit import Circuit
+    from repro.execution.options import RunOptions
+    from repro.sampling.counts import Counts
 
 
 class Result:
@@ -36,9 +52,9 @@ class Result:
 
     def __init__(
         self,
-        circuit,
-        state,
-        counts=None,
+        circuit: Union["Circuit", Callable[[], "Circuit"]],
+        state: Optional[Any],
+        counts: Optional["Counts"] = None,
         memory: Optional[List[str]] = None,
         observables: Tuple[Any, ...] = (),
         expectation_values: Tuple[float, ...] = (),
@@ -60,7 +76,7 @@ class Result:
         self._metadata = dict(metadata) if metadata is not None else {}
 
     @property
-    def circuit(self):
+    def circuit(self) -> "Circuit":
         """The circuit that actually ran (transpiled and bound).
 
         Sweep results defer this: the execution layer hands in a zero-arg
@@ -75,7 +91,7 @@ class Result:
         return self._circuit
 
     @property
-    def state(self):
+    def state(self) -> Optional[Any]:
         """The final state handle (Statevector or DensityMatrix).
 
         ``None`` for shot-resolved dynamic/trajectory execution: those
@@ -86,7 +102,7 @@ class Result:
         return self._state
 
     @property
-    def counts(self):
+    def counts(self) -> Optional["Counts"]:
         """Sampled :class:`~repro.sampling.Counts`; ``None`` when shots=0."""
         return self._counts
 
@@ -120,18 +136,18 @@ class Result:
         """Timing and provenance: backend, derived seed, wall-times."""
         return dict(self._metadata)
 
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, Any]:
         # Sweep results may defer the circuit behind a zero-arg closure,
         # and closures do not pickle; resolve it first so results can
         # cross process boundaries (worker pools) intact.
         _ = self.circuit
         return {name: getattr(self, name) for name in self.__slots__}
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: Dict[str, Any]) -> None:
         for name, value in state.items():
             setattr(self, name, value)
 
-    def expectation(self, observable) -> float:
+    def expectation(self, observable: Any) -> float:
         """Evaluate one more observable on the retained final state."""
         from repro.observables import expectation
 
@@ -176,7 +192,7 @@ class BatchResult:
     def __iter__(self) -> Iterator[Result]:
         return iter(self._results)
 
-    def __getitem__(self, index) -> Union[Result, Tuple[Result, ...]]:
+    def __getitem__(self, index: Union[int, slice]) -> Union[Result, Tuple[Result, ...]]:
         return self._results[index]
 
     @property
@@ -220,7 +236,7 @@ class Job:
     def __init__(
         self,
         runner: Callable[[], Union[Result, BatchResult]],
-        options,
+        options: "RunOptions",
         num_elements: int,
     ) -> None:
         self._runner = runner
@@ -234,7 +250,7 @@ class Job:
         self._async = None
 
     @property
-    def options(self):
+    def options(self) -> "RunOptions":
         """The :class:`RunOptions` this job runs under."""
         return self._options
 
@@ -257,7 +273,7 @@ class Job:
         """Whether the job has finished (successfully or not)."""
         return self.status in ("done", "error")
 
-    def _attach_async(self, state) -> None:
+    def _attach_async(self, state: Any) -> None:
         """Hand the job to an execution service (service layer only)."""
         if self._async is not None or self._status != "created":
             raise ExecutionError("job was already started or enqueued")

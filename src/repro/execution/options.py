@@ -89,6 +89,13 @@ class RunOptions:
         the serial path too, keeping results independent of
         ``max_workers``.  Note k > 1 shards draw from k derived streams,
         so counts differ (validly) from the unsharded stream.
+    validate:
+        Static analysis of every circuit (and its compiled plan) before
+        execution: ``"off"`` (default) skips it entirely, ``"warn"``
+        records the :class:`~repro.analysis.Diagnostic` list on
+        ``Result.metadata["diagnostics"]``, and ``"strict"`` additionally
+        raises :class:`~repro.utils.exceptions.AnalysisError` when any
+        error-severity diagnostic is found.
     """
 
     backend: Any = None
@@ -102,6 +109,7 @@ class RunOptions:
     sweep_mode: str = "auto"
     max_workers: Optional[int] = None
     shard_shots: int = 0
+    validate: str = "off"
 
     def __post_init__(self) -> None:
         shots = _as_int(self.shots)
@@ -150,6 +158,11 @@ class RunOptions:
                 f"{self.shard_shots!r}"
             )
         object.__setattr__(self, "shard_shots", shard_shots)
+        if self.validate not in ("off", "warn", "strict"):
+            raise ExecutionError(
+                f"validate must be 'off', 'warn', or 'strict', "
+                f"got {self.validate!r}"
+            )
 
     def replace(self, **changes: Any) -> "RunOptions":
         """A copy with ``changes`` applied (re-validated)."""

@@ -12,6 +12,7 @@ probability of the channel, ``gamma``/``lam`` the damping strengths.
 from __future__ import annotations
 
 from itertools import product
+from typing import Sequence
 
 import numpy as np
 
@@ -34,7 +35,7 @@ def _check_probability(name: str, value: float, upper: float = 1.0) -> float:
     return value
 
 
-def _pauli_string(indices) -> np.ndarray:
+def _pauli_string(indices: Sequence[int]) -> np.ndarray:
     matrix = _PAULIS[indices[0]]
     for i in indices[1:]:
         matrix = np.kron(matrix, _PAULIS[i])

@@ -48,7 +48,7 @@ class ReadoutError:
         confusion.setflags(write=False)
         self._confusion = confusion
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: tuple) -> None:
         # Default __slots__ pickling restores attributes but loses the
         # confusion matrix's read-only flag (numpy arrays unpickle
         # writeable); re-freeze to keep the immutability contract.

@@ -22,7 +22,7 @@ from repro.utils.exceptions import SimulationError
 
 
 def _apply_stacked(
-    batch: np.ndarray, matrices: np.ndarray, targets, num_qubits: int
+    batch: np.ndarray, matrices: np.ndarray, targets: Sequence[int], num_qubits: int
 ) -> np.ndarray:
     """Contract per-point ``(N, 2**k, 2**k)`` matrices onto the batch.
 

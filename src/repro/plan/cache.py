@@ -31,7 +31,13 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+if TYPE_CHECKING:
+    from repro.circuit import Circuit
+    from repro.execution.options import RunOptions
+    from repro.noise import NoiseModel
+    from repro.plan.plan import ExecutionPlan
 
 _MAXSIZE = 64
 
@@ -46,7 +52,12 @@ class _Entry:
 
     __slots__ = ("plan", "noise_model", "passes")
 
-    def __init__(self, plan, noise_model, passes) -> None:
+    def __init__(
+        self,
+        plan: "ExecutionPlan",
+        noise_model: Optional["NoiseModel"],
+        passes: Any,
+    ) -> None:
         self.plan = plan
         self.noise_model = noise_model
         # Pin the pass *elements*, not just their container: replacing an
@@ -62,7 +73,7 @@ class _Entry:
             self.passes = (passes, tuple(getattr(passes, "passes", ())))
 
 
-def _passes_key(passes) -> Optional[tuple]:
+def _passes_key(passes: Any) -> Optional[tuple]:
     if passes is None:
         return None
     if isinstance(passes, (list, tuple)):
@@ -78,7 +89,7 @@ def _passes_key(passes) -> Optional[tuple]:
     return (id(passes),) + composition
 
 
-def _noise_key(noise_model) -> Optional[tuple]:
+def _noise_key(noise_model: Optional["NoiseModel"]) -> Optional[tuple]:
     if noise_model is None:
         return None
     return (
@@ -88,7 +99,13 @@ def _noise_key(noise_model) -> Optional[tuple]:
     )
 
 
-def _key(circuit, backend_name: str, mode: str, dtype, options) -> tuple:
+def _key(
+    circuit: "Circuit",
+    backend_name: str,
+    mode: str,
+    dtype: Any,
+    options: "RunOptions",
+) -> tuple:
     return (
         backend_name,
         mode,
@@ -102,7 +119,13 @@ def _key(circuit, backend_name: str, mode: str, dtype, options) -> tuple:
     )
 
 
-def cache_get(circuit, backend_name, mode, dtype, options):
+def cache_get(
+    circuit: "Circuit",
+    backend_name: str,
+    mode: str,
+    dtype: Any,
+    options: "RunOptions",
+) -> Optional["ExecutionPlan"]:
     """The cached plan for this compilation, or ``None`` (counted either way)."""
     global _HITS, _MISSES
     key = _key(circuit, backend_name, mode, dtype, options)
@@ -116,7 +139,14 @@ def cache_get(circuit, backend_name, mode, dtype, options):
         return entry.plan
 
 
-def cache_put(circuit, backend_name, mode, dtype, options, plan) -> None:
+def cache_put(
+    circuit: "Circuit",
+    backend_name: str,
+    mode: str,
+    dtype: Any,
+    options: "RunOptions",
+    plan: "ExecutionPlan",
+) -> None:
     """Insert ``plan``, evicting the least recently used entry when full."""
     key = _key(circuit, backend_name, mode, dtype, options)
     entry = _Entry(plan, options.noise_model, options.passes)

@@ -40,13 +40,35 @@ the plain op-after-op fast path.
 
 from __future__ import annotations
 
+import contextlib
 import time
-from typing import Dict, List, Mapping, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from repro.circuit import Circuit, Parameter
 from repro.utils.exceptions import SimulationError
+
+if TYPE_CHECKING:
+    from repro.circuit.circuit import CircuitStats
+    from repro.circuit.instruction import Instruction
+    from repro.execution.options import RunOptions
+    from repro.noise import NoiseModel
+
+# Dynamic density evolution threads the state as classical-outcome
+# branches: (clbit tuple, unnormalised rho).
+Branches = List[Tuple[Tuple[int, ...], np.ndarray]]
 
 STATEVECTOR = "statevector"
 DENSITY = "density"
@@ -60,25 +82,31 @@ _BRANCH_ATOL = 1e-15
 # Lowering hooks: callables invoked as fn(circuit, plan) after every *full*
 # lowering (never on ExecutionPlan.bind, which only substitutes slot ops).
 # Tests hang counters here to prove the compile-once/bind-many contract.
-_LOWER_HOOKS: List = []
+LowerHook = Callable[["Circuit", "ExecutionPlan"], None]
+
+_LOWER_HOOKS: List[LowerHook] = []
 
 
-def add_lower_hook(hook) -> None:
+def add_lower_hook(hook: LowerHook) -> None:
     """Register ``hook(circuit, plan)`` to fire after each full lowering."""
     if not callable(hook):
         raise SimulationError(f"lower hook must be callable, got {hook!r}")
     _LOWER_HOOKS.append(hook)
 
 
-def remove_lower_hook(hook) -> None:
+def remove_lower_hook(hook: LowerHook) -> None:
     """Unregister a hook added via :func:`add_lower_hook` (missing is a no-op)."""
-    try:
+    with contextlib.suppress(ValueError):
         _LOWER_HOOKS.remove(hook)
-    except ValueError:
-        pass
 
 
-def _contract(state: np.ndarray, tensor: np.ndarray, targets, in_axes, out_axes):
+def _contract(
+    state: np.ndarray,
+    tensor: np.ndarray,
+    targets: Sequence[int],
+    in_axes: Sequence[int],
+    out_axes: Sequence[int],
+) -> np.ndarray:
     """One precomputed-axis tensordot: ``tensor`` onto ``targets`` of ``state``."""
     out = np.tensordot(tensor, state, axes=(in_axes, targets))
     return np.moveaxis(out, out_axes, targets)
@@ -92,7 +120,9 @@ class UnitaryOp:
     is_slot = False
     is_dynamic = False
 
-    def __init__(self, name: str, matrix: np.ndarray, targets, dtype) -> None:
+    def __init__(
+        self, name: str, matrix: np.ndarray, targets: Sequence[int], dtype: np.dtype
+    ) -> None:
         k = len(targets)
         # asarray, not astype: when the backend dtype matches the gate
         # matrix (the common complex128 case) the cached gate matrix is
@@ -134,7 +164,14 @@ class DensityUnitaryOp:
     is_slot = False
     is_dynamic = False
 
-    def __init__(self, name: str, matrix: np.ndarray, targets, num_qubits, dtype) -> None:
+    def __init__(
+        self,
+        name: str,
+        matrix: np.ndarray,
+        targets: Sequence[int],
+        num_qubits: int,
+        dtype: np.dtype,
+    ) -> None:
         k = len(targets)
         matrix = np.asarray(matrix, dtype=dtype)
         self.tensor = matrix.reshape((2,) * (2 * k))
@@ -171,7 +208,14 @@ class DensityKrausOp:
     is_slot = False
     is_dynamic = False
 
-    def __init__(self, name: str, kraus, targets, num_qubits, dtype) -> None:
+    def __init__(
+        self,
+        name: str,
+        kraus: Sequence[np.ndarray],
+        targets: Sequence[int],
+        num_qubits: int,
+        dtype: np.dtype,
+    ) -> None:
         k = len(targets)
         shape = (2,) * (2 * k)
         operators = [np.asarray(op, dtype=dtype) for op in kraus]
@@ -212,7 +256,13 @@ class ParametricSlotOp:
     is_slot = True
     is_dynamic = False
 
-    def __init__(self, gate_name: str, params, targets, index: int) -> None:
+    def __init__(
+        self,
+        gate_name: str,
+        params: Sequence[Union[float, Parameter]],
+        targets: Sequence[int],
+        index: int,
+    ) -> None:
         self.gate_name = gate_name
         self.params = tuple(params)
         self.targets = tuple(targets)
@@ -239,7 +289,9 @@ class ParametricSlotOp:
         return f"ParametricSlotOp({self.gate_name}({names}) @ {self.targets})"
 
 
-def _project_density(rho: np.ndarray, qubit: int, num_qubits: int, outcome: int):
+def _project_density(
+    rho: np.ndarray, qubit: int, num_qubits: int, outcome: int
+) -> np.ndarray:
     """``P rho P`` for the Z-basis projector onto ``outcome`` of ``qubit``."""
     out = np.zeros_like(rho)
     src = np.moveaxis(rho, (qubit, num_qubits + qubit), (0, 1))
@@ -279,7 +331,9 @@ class MeasureOp:
             "(execute_plan threads the RNG and classical bits)"
         )
 
-    def apply_pure(self, state: np.ndarray, rng, bits: List[int]) -> np.ndarray:
+    def apply_pure(
+        self, state: np.ndarray, rng: np.random.Generator, bits: List[int]
+    ) -> np.ndarray:
         moved = np.moveaxis(state, self.qubit, 0)
         p0 = float(np.sum(np.abs(moved[0]) ** 2))
         p1 = float(np.sum(np.abs(moved[1]) ** 2))
@@ -293,7 +347,7 @@ class MeasureOp:
         bits[self.clbit] = outcome
         return out
 
-    def apply_density(self, branches):
+    def apply_density(self, branches: Branches) -> Branches:
         merged: Dict[tuple, np.ndarray] = {}
         for bits, rho in branches:
             for outcome in (0, 1):
@@ -336,7 +390,9 @@ class ResetOp:
             "(execute_plan threads the RNG and classical bits)"
         )
 
-    def apply_pure(self, state: np.ndarray, rng, bits: List[int]) -> np.ndarray:
+    def apply_pure(
+        self, state: np.ndarray, rng: np.random.Generator, bits: List[int]
+    ) -> np.ndarray:
         moved = np.moveaxis(state, self.qubit, 0)
         p0 = float(np.sum(np.abs(moved[0]) ** 2))
         p1 = float(np.sum(np.abs(moved[1]) ** 2))
@@ -348,7 +404,7 @@ class ResetOp:
         np.moveaxis(out, self.qubit, 0)[0] = moved[outcome] / np.sqrt(prob)
         return out
 
-    def apply_density(self, branches):
+    def apply_density(self, branches: Branches) -> Branches:
         out = []
         for bits, rho in branches:
             new = np.zeros_like(rho)
@@ -375,7 +431,9 @@ class ConditionalOp:
     is_slot = False
     is_dynamic = True
 
-    def __init__(self, clbit: int, value: int, inner) -> None:
+    def __init__(
+        self, clbit: int, value: int, inner: Union[UnitaryOp, DensityUnitaryOp]
+    ) -> None:
         self.clbit = int(clbit)
         self.value = int(value)
         self.inner = inner
@@ -387,12 +445,14 @@ class ConditionalOp:
             "(execute_plan threads the RNG and classical bits)"
         )
 
-    def apply_pure(self, state: np.ndarray, rng, bits: List[int]) -> np.ndarray:
+    def apply_pure(
+        self, state: np.ndarray, rng: np.random.Generator, bits: List[int]
+    ) -> np.ndarray:
         if bits[self.clbit] == self.value:
             return self.inner.apply(state)
         return state
 
-    def apply_density(self, branches):
+    def apply_density(self, branches: Branches) -> Branches:
         return [
             (bits, self.inner.apply(rho) if bits[self.clbit] == self.value else rho)
             for bits, rho in branches
@@ -417,7 +477,13 @@ class TrajectoryKrausOp:
     is_slot = False
     is_dynamic = True
 
-    def __init__(self, name: str, kraus, targets, dtype) -> None:
+    def __init__(
+        self,
+        name: str,
+        kraus: Sequence[np.ndarray],
+        targets: Sequence[int],
+        dtype: np.dtype,
+    ) -> None:
         k = len(targets)
         shape = (2,) * (2 * k)
         self.tensors = tuple(
@@ -434,7 +500,9 @@ class TrajectoryKrausOp:
             "through the trajectory backend (execute_plan threads the RNG)"
         )
 
-    def apply_pure(self, state: np.ndarray, rng, bits: List[int]) -> np.ndarray:
+    def apply_pure(
+        self, state: np.ndarray, rng: np.random.Generator, bits: List[int]
+    ) -> np.ndarray:
         candidates = []
         weights = []
         for tensor in self.tensors:
@@ -460,7 +528,9 @@ class TrajectoryKrausOp:
         )
 
 
-def execute_dynamic_pure(plan: "ExecutionPlan", tensor: np.ndarray, rng):
+def execute_dynamic_pure(
+    plan: "ExecutionPlan", tensor: np.ndarray, rng: np.random.Generator
+) -> Tuple[np.ndarray, Tuple[int, ...]]:
     """Run a dynamic pure-state plan: one stochastic trajectory.
 
     Returns ``(final_tensor, bits)`` where ``bits`` is the classical
@@ -477,7 +547,9 @@ def execute_dynamic_pure(plan: "ExecutionPlan", tensor: np.ndarray, rng):
     return tensor, tuple(bits)
 
 
-def execute_dynamic_density(plan: "ExecutionPlan", tensor: np.ndarray):
+def execute_dynamic_density(
+    plan: "ExecutionPlan", tensor: np.ndarray
+) -> Tuple[np.ndarray, Dict[str, float]]:
     """Run a dynamic density plan with classical-outcome bookkeeping.
 
     The state evolves as a list of ``(clbits, unnormalised rho)`` branches:
@@ -549,11 +621,11 @@ class ExecutionPlan:
         num_qubits: int,
         ops: Sequence[PlanOp],
         parameters: Tuple[Parameter, ...],
-        dtype,
+        dtype: np.dtype,
         circuit: Circuit,
         backend_name: str,
         pass_stats: Tuple[dict, ...] = (),
-        stats=None,
+        stats: Optional["CircuitStats"] = None,
         compile_time_s: float = 0.0,
         transpile_time_s: float = 0.0,
         *,
@@ -630,7 +702,7 @@ class ExecutionPlan:
         return self._pass_stats
 
     @property
-    def stats(self):
+    def stats(self) -> Optional["CircuitStats"]:
         """:class:`~repro.circuit.CircuitStats` of the lowered circuit."""
         return self._stats
 
@@ -709,7 +781,9 @@ class ExecutionPlan:
         )
 
 
-def _lower_dynamic(instruction, mode: str, num_qubits: int, dtype) -> PlanOp:
+def _lower_dynamic(
+    instruction: "Instruction", mode: str, num_qubits: int, dtype: np.dtype
+) -> PlanOp:
     """Lower one dynamic instruction (measure/reset/if_bit) for ``mode``."""
     operation = instruction.operation
     if instruction.is_measure:
@@ -731,8 +805,8 @@ def _lower_dynamic(instruction, mode: str, num_qubits: int, dtype) -> PlanOp:
 def _lower(
     circuit: Circuit,
     mode: str,
-    dtype,
-    noise_model,
+    dtype: np.dtype,
+    noise_model: Optional["NoiseModel"],
     backend_name: str,
 ) -> ExecutionPlan:
     """Lower a (transpiled) circuit into plan ops for ``mode``."""
@@ -816,8 +890,8 @@ def _lower(
 
 def compile_plan(
     circuit: Circuit,
-    backend=None,
-    options=None,
+    backend: Any = None,
+    options: Optional["RunOptions"] = None,
     *,
     use_cache: bool = True,
 ) -> ExecutionPlan:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, Mapping, NoReturn
 
 from repro.utils.bitstrings import bitstring_to_index
 from repro.utils.exceptions import SimulationError
@@ -45,7 +45,7 @@ class Counts(Dict[str, int]):
 
     # Counts are a measurement *result*: freeze the dict mutators so the
     # constructor's validation cannot be bypassed after the fact.
-    def _read_only(self, *args, **kwargs):
+    def _read_only(self, *args: object, **kwargs: object) -> "NoReturn":
         raise TypeError("Counts is read-only; build a new Counts or use merged()")
 
     __setitem__ = _read_only
@@ -61,7 +61,7 @@ class Counts(Dict[str, int]):
         """A Counts copy (not a plain dict), preserving ``num_qubits``."""
         return Counts(dict(self), num_qubits=self._num_qubits)
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         # Default dict-subclass pickling restores items through
         # ``__setitem__``, which this class freezes; rebuild through the
         # validating constructor instead so a round-trip crosses process

@@ -31,7 +31,7 @@ This module is also the sampling primitive of the execution layer:
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -43,11 +43,14 @@ from repro.utils.bitstrings import index_to_bitstring
 from repro.utils.exceptions import SimulationError
 from repro.utils.rng import SeedLike, derive_seed, ensure_rng
 
+if TYPE_CHECKING:
+    from repro.noise import NoiseModel
+
 Source = Union[Circuit, Statevector, DensityMatrix]
 
 
 def _resolve_state(
-    source: Source, backend: BackendLike, noise_model
+    source: Source, backend: BackendLike, noise_model: Optional["NoiseModel"]
 ) -> Union[Statevector, DensityMatrix]:
     if isinstance(source, Circuit):
         if source.has_dynamic_ops():
@@ -86,7 +89,8 @@ def _resolve_rng(seed: SeedLike, repetition: int) -> np.random.Generator:
 
 
 def readout_probabilities(
-    state: Union[Statevector, DensityMatrix], noise_model=None
+    state: Union[Statevector, DensityMatrix],
+    noise_model: Optional["NoiseModel"] = None,
 ) -> np.ndarray:
     """Normalised Born probabilities of ``state``, readout error applied.
 
@@ -128,8 +132,8 @@ def _prepare(
     seed: SeedLike,
     repetition: int,
     backend: BackendLike,
-    noise_model,
-):
+    noise_model: Optional["NoiseModel"],
+) -> Tuple[Union[Statevector, DensityMatrix], np.random.Generator, np.ndarray]:
     """Shared sampling preamble: validate, simulate, corrupt, seed, normalise."""
     if shots < 1:
         raise SimulationError(f"shots must be positive, got {shots}")
@@ -144,7 +148,7 @@ def sample_counts(
     seed: SeedLike = None,
     repetition: int = 0,
     backend: BackendLike = None,
-    noise_model=None,
+    noise_model: Optional["NoiseModel"] = None,
 ) -> Counts:
     """Sample ``shots`` measurement outcomes, aggregated into :class:`Counts`.
 
@@ -180,7 +184,7 @@ def sample_memory(
     seed: SeedLike = None,
     repetition: int = 0,
     backend: BackendLike = None,
-    noise_model=None,
+    noise_model: Optional["NoiseModel"] = None,
 ) -> List[str]:
     """Sample ``shots`` outcomes preserving per-shot order (a "memory" list).
 

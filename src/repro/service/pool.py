@@ -32,9 +32,13 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.utils.exceptions import ExecutionError, ParallelExecutionError
+
+if TYPE_CHECKING:
+    from repro.execution.options import RunOptions
+    from repro.plan.plan import ExecutionPlan
 
 #: Environment fallback for ``RunOptions.max_workers=None`` — lets a CI
 #: matrix (or a deploy) flip whole test suites to parallel execution
@@ -131,7 +135,7 @@ _PLAN_CACHE: "OrderedDict[bytes, Any]" = OrderedDict()
 _PLAN_CACHE_MAX = 16
 
 
-def dump_plan(plan) -> bytes:
+def dump_plan(plan: "ExecutionPlan") -> bytes:
     """Pickle a compiled plan once, parent-side, for reuse across tasks."""
     try:
         return pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL)
@@ -141,7 +145,7 @@ def dump_plan(plan) -> bytes:
         ) from exc
 
 
-def load_plan(blob: bytes):
+def load_plan(blob: bytes) -> "ExecutionPlan":
     """Unpickle a plan at most once per worker process (digest-keyed)."""
     key = hashlib.sha1(blob).digest()
     plan = _PLAN_CACHE.get(key)
@@ -155,14 +159,22 @@ def load_plan(blob: bytes):
     return plan
 
 
-def _element_task(plan_blob: bytes, point, index: int, options, backend):
+def _element_task(
+    plan_blob: bytes,
+    point: Optional[Mapping[str, float]],
+    index: int,
+    options: "RunOptions",
+    backend: Any,
+) -> Dict[str, Any]:
     """One sweep point / batch element, end to end, in a worker."""
     from repro.execution.api import element_payload
 
     return element_payload(load_plan(plan_blob), point, index, options, backend)
 
 
-def _shard_task(probs, shots: int, seed, num_qubits: int, memory: bool):
+def _shard_task(
+    probs: Any, shots: int, seed: Optional[int], num_qubits: int, memory: bool
+) -> Tuple[Any, Optional[List[str]]]:
     """One shot shard sampled from a precomputed probability vector."""
     from repro.execution.api import sample_shard
 
@@ -170,8 +182,13 @@ def _shard_task(probs, shots: int, seed, num_qubits: int, memory: bool):
 
 
 def _trajectory_task(
-    plan_blob: bytes, index: int, start: int, count: int, options, backend
-):
+    plan_blob: bytes,
+    index: int,
+    start: int,
+    count: int,
+    options: "RunOptions",
+    backend: Any,
+) -> Dict[str, Any]:
     """One shard of Monte-Carlo trajectories for a dynamic-plan element."""
     from repro.execution.api import trajectory_shard
 

@@ -18,10 +18,14 @@ from __future__ import annotations
 
 import queue as _queue
 import threading
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence, Union
 
 from repro.service.futures import JobState
 from repro.utils.exceptions import ExecutionError, ExecutionQueueFullError
+
+if TYPE_CHECKING:
+    from repro.circuit import Circuit
+    from repro.execution import Job, RunOptions
 
 #: How long a dispatcher sleeps in ``Queue.get`` before re-checking the
 #: shutdown flag; bounds shutdown latency, invisible otherwise.
@@ -76,12 +80,12 @@ class ExecutionService:
 
     def submit(
         self,
-        circuits,
-        options=None,
+        circuits: Union["Circuit", Sequence["Circuit"]],
+        options: Optional["RunOptions"] = None,
         *,
-        parameter_sweep=None,
+        parameter_sweep: Optional[Sequence[Mapping[str, float]]] = None,
         **kwargs: Any,
-    ):
+    ) -> "Job":
         """Validate, enqueue, and return a :class:`~repro.execution.Job`.
 
         The returned job's :attr:`~repro.execution.Job.status` moves
@@ -146,7 +150,7 @@ class ExecutionService:
     def __enter__(self) -> "ExecutionService":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
     def __repr__(self) -> str:
@@ -185,13 +189,13 @@ def configure_default_service(
 
 
 def execute_async(
-    circuits,
-    options=None,
+    circuits: Union["Circuit", Sequence["Circuit"]],
+    options: Optional["RunOptions"] = None,
     *,
-    parameter_sweep=None,
+    parameter_sweep: Optional[Sequence[Mapping[str, float]]] = None,
     service: Optional[ExecutionService] = None,
     **kwargs: Any,
-):
+) -> "Job":
     """Enqueue an execution and return its :class:`~repro.execution.Job`.
 
     Same surface as :func:`repro.execute` plus an optional ``service``;

@@ -17,7 +17,7 @@ pre-sharding behaviour.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.utils.exceptions import ExecutionError
 from repro.utils.rng import derive_seed
@@ -69,7 +69,7 @@ def shard_seeds(
     ]
 
 
-def merge_counts(parts: Sequence):
+def merge_counts(parts: Sequence) -> Any:
     """Merge per-shard :class:`~repro.sampling.Counts` in shard order."""
     if not parts:
         raise ExecutionError("no count shards to merge")

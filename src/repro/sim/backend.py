@@ -13,7 +13,10 @@ reshape/axis bookkeeping once per circuit instead of once per call.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+if TYPE_CHECKING:
+    from repro.noise import NoiseModel
 
 import numpy as np
 
@@ -74,7 +77,7 @@ class StatevectorBackend(BaseBackend):
     def dtype(self) -> np.dtype:
         return self._dtype
 
-    def _validate_noise(self, noise_model) -> None:
+    def _validate_noise(self, noise_model: Optional["NoiseModel"]) -> None:
         if noise_model is not None and getattr(noise_model, "has_gate_noise", False):
             raise SimulationError(
                 "the statevector backend cannot apply gate noise; "

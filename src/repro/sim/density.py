@@ -64,7 +64,7 @@ class DensityMatrix:
         self._data = data
         self._num_qubits = num_qubits
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: tuple) -> None:
         # Default __slots__ pickling restores attributes but loses the
         # data buffer's read-only flag (numpy arrays unpickle writeable);
         # re-freeze so unpickled density matrices stay immutable.

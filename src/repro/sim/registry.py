@@ -29,12 +29,26 @@ reserved for plan-capable backends (those declaring ``plan_mode``).
 from __future__ import annotations
 
 import warnings
-from typing import Callable, Dict, Protocol, Union, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Optional,
+    Protocol,
+    Union,
+    runtime_checkable,
+)
 
 import numpy as np
 
 from repro.circuit import Circuit
 from repro.utils.exceptions import SimulationError
+
+if TYPE_CHECKING:
+    from repro.execution.options import RunOptions
+    from repro.noise import NoiseModel
+    from repro.plan.plan import ExecutionPlan
 
 DEFAULT_BACKEND = "statevector"
 
@@ -54,9 +68,9 @@ class Backend(Protocol):
     def run(
         self,
         circuit: Circuit,
-        initial_state=None,
-        options=None,
-    ):  # pragma: no cover - protocol signature only
+        initial_state: Any = None,
+        options: Optional["RunOptions"] = None,
+    ) -> Any:  # pragma: no cover - protocol signature only
         ...
 
 
@@ -85,13 +99,13 @@ class BaseBackend:
     def run(
         self,
         circuit: Circuit,
-        initial_state=None,
-        options=None,
+        initial_state: Any = None,
+        options: Optional["RunOptions"] = None,
         *,
         optimize: bool = False,
-        passes=None,
-        noise_model=None,
-    ):
+        passes: Any = None,
+        noise_model: Optional["NoiseModel"] = None,
+    ) -> Any:
         """Simulate ``circuit`` from ``initial_state`` under ``options``.
 
         ``options`` is a :class:`~repro.execution.RunOptions`; the
@@ -146,7 +160,14 @@ class BaseBackend:
             rng = np.random.default_rng(options.seed)
         return self.execute_plan(plan, initial_state, rng=rng)
 
-    def execute_plan(self, plan, initial_state=None, *, rng=None, classical=None):
+    def execute_plan(
+        self,
+        plan: "ExecutionPlan",
+        initial_state: Any = None,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        classical: Optional[Dict[str, Any]] = None,
+    ) -> Any:
         """Run a compiled, fully bound plan — the one evolution loop.
 
         ``plan`` must have been compiled for this backend's
@@ -207,13 +228,13 @@ class BaseBackend:
                 classical["bits"] = "".join(map(str, bits))
         return self._finalize(tensor, plan.num_qubits)
 
-    def _validate_noise(self, noise_model) -> None:
+    def _validate_noise(self, noise_model: Optional["NoiseModel"]) -> None:
         """Reject noise this backend cannot represent (default: accept)."""
 
-    def _initial_tensor(self, num_qubits: int, initial_state):
+    def _initial_tensor(self, num_qubits: int, initial_state: Any) -> np.ndarray:
         raise NotImplementedError  # pragma: no cover - abstract hook
 
-    def _finalize(self, tensor, num_qubits: int):
+    def _finalize(self, tensor: np.ndarray, num_qubits: int) -> Any:
         raise NotImplementedError  # pragma: no cover - abstract hook
 
 
@@ -277,13 +298,13 @@ def get_backend(backend: BackendLike = None) -> Backend:
 
 def run(
     circuit: Circuit,
-    initial_state=None,
+    initial_state: Any = None,
     optimize: bool = False,
-    passes=None,
+    passes: Any = None,
     backend: BackendLike = None,
-    noise_model=None,
-    options=None,
-):
+    noise_model: Optional["NoiseModel"] = None,
+    options: Optional["RunOptions"] = None,
+) -> Any:
     """Simulate ``circuit`` on ``backend`` (default ``"statevector"``).
 
     A thin shim over the unified backend surface, kept for the original

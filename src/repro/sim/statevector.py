@@ -66,7 +66,7 @@ class Statevector:
         self._data = data
         self._num_qubits = num_qubits
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: tuple) -> None:
         # Default __slots__ pickling restores attributes but loses the
         # amplitude buffer's read-only flag (numpy arrays unpickle
         # writeable); re-freeze so unpickled states stay immutable.

@@ -17,8 +17,13 @@ results are bitwise-identical for any ``max_workers``.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.sim.backend import StatevectorBackend
 from repro.sim.registry import register_backend
+
+if TYPE_CHECKING:
+    from repro.noise import NoiseModel
 
 
 class TrajectoryBackend(StatevectorBackend):
@@ -36,7 +41,7 @@ class TrajectoryBackend(StatevectorBackend):
     name = "trajectory"
     plan_mode = "trajectory"
 
-    def _validate_noise(self, noise_model) -> None:
+    def _validate_noise(self, noise_model: Optional["NoiseModel"]) -> None:
         # Unlike the parent, gate noise is exactly what this backend is
         # for; any NoiseModel (or None) is acceptable.
         return None

@@ -10,7 +10,7 @@ circuit for every pass downstream.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.circuit import Circuit
 from repro.utils.exceptions import TranspilerError
@@ -179,8 +179,8 @@ def transpile(
     passes: Union[None, PassManager, Sequence[Pass]] = None,
     max_fused_width: int = 2,
     pass_manager_out: Optional[List[PassManager]] = None,
-    lower=None,
-):
+    lower: Optional[Callable[[Circuit], Circuit]] = None,
+) -> Circuit:
     """Optimise ``circuit`` through a pass pipeline.
 
     Parameters

@@ -45,6 +45,7 @@ class DropIdentities(Pass):
 
     def run(self, circuit: Circuit) -> Circuit:
         out = Circuit(circuit.num_qubits, circuit.name, num_clbits=circuit.num_clbits)
+        out._clbits_pinned = circuit.clbits_pinned
         for instruction in circuit:
             # Channels are never identities (they are irreversible maps);
             # parametric gates have no matrix to test until bound; dynamic
@@ -127,6 +128,7 @@ class CancelInversePairs(Pass):
             else:
                 kept.append(instruction)
         out = Circuit(circuit.num_qubits, circuit.name, num_clbits=circuit.num_clbits)
+        out._clbits_pinned = circuit.clbits_pinned
         for instruction in kept:
             out.append(instruction.operation, instruction.qubits)
         return out

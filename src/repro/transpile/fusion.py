@@ -106,6 +106,7 @@ class FuseAdjacentGates(Pass):
         from repro.gates import unitary_gate
 
         out = Circuit(circuit.num_qubits, circuit.name, num_clbits=circuit.num_clbits)
+        out._clbits_pinned = circuit.clbits_pinned
         group: Optional[_FusionGroup] = None
 
         def flush() -> None:

@@ -1,6 +1,7 @@
 """Shared utilities: error types, RNG handling, bitstring helpers."""
 
 from repro.utils.exceptions import (
+    AnalysisError,
     CircuitError,
     ExecutionError,
     ExecutionQueueFullError,
@@ -23,6 +24,7 @@ from repro.utils.bitstrings import (
 
 __all__ = [
     "ReproError",
+    "AnalysisError",
     "CircuitError",
     "TranspilerError",
     "SimulationError",

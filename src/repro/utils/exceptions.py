@@ -25,6 +25,21 @@ class NoiseModelError(ReproError):
     """Raised for inconsistent noise-model or calibration specifications."""
 
 
+class AnalysisError(ReproError):
+    """Raised by the static-analysis layer (:mod:`repro.analysis`).
+
+    Covers invalid rule registrations, malformed analyzer inputs, and —
+    under ``RunOptions.validate="strict"`` — circuits or compiled plans
+    that carry error-severity diagnostics.  The offending diagnostics
+    ride along on :attr:`diagnostics` so callers can render them without
+    re-parsing the message.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
 class ExecutionError(ReproError):
     """Raised by the execution/observables layer for invalid requests.
 

@@ -1,0 +1,127 @@
+"""The AST layering lint in tools/check_layers.py."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+_TOOL = (
+    pathlib.Path(__file__).resolve().parents[2] / "tools" / "check_layers.py"
+)
+
+
+@pytest.fixture(scope="module")
+def lint():
+    spec = importlib.util.spec_from_file_location("check_layers", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_layers"] = module
+    spec.loader.exec_module(module)
+    try:
+        yield module
+    finally:
+        sys.modules.pop("check_layers", None)
+
+
+class TestLayerResolution:
+    def test_longest_prefix_wins(self, lint):
+        assert lint.layer_of("repro.execution.options") == (
+            "repro.execution.options",
+            5,
+        )
+        assert lint.layer_of("repro.execution.api")[0] == "repro.execution"
+
+    def test_facade_and_cli_are_top(self, lint):
+        assert lint.layer_of("repro")[1] == lint.TOP_RANK
+        assert lint.layer_of("repro.bench.__main__")[1] == lint.TOP_RANK
+
+    def test_unknown_module_has_no_rank(self, lint):
+        assert lint.layer_of("somewhere.else") is None
+
+    def test_module_name_from_path(self, lint):
+        assert (
+            lint.module_name(lint.SRC / "repro" / "utils" / "__init__.py")
+            == "repro.utils"
+        )
+        assert (
+            lint.module_name(lint.SRC / "repro" / "plan" / "plan.py")
+            == "repro.plan.plan"
+        )
+
+
+class TestRepositoryIsClean:
+    def test_no_violations_in_src(self, lint):
+        assert lint.check() == []
+
+    def test_main_returns_zero(self, lint, capsys):
+        assert lint.main() == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestViolationsAreCaught:
+    def _run_on(self, lint, monkeypatch, tmp_path, source):
+        package = tmp_path / "repro" / "utils"
+        package.mkdir(parents=True)
+        (package / "bad.py").write_text(source)
+        monkeypatch.setattr(lint, "SRC", tmp_path)
+        return lint.check()
+
+    def test_module_level_upward_import(self, lint, monkeypatch, tmp_path):
+        violations = self._run_on(
+            lint, monkeypatch, tmp_path, "from repro.sim import get_backend\n"
+        )
+        assert len(violations) == 1
+        assert "module-level import" in violations[0]
+        assert "repro.sim" in violations[0]
+
+    def test_unwhitelisted_lazy_import(self, lint, monkeypatch, tmp_path):
+        source = "def f():\n    from repro.bench import run_suite\n"
+        violations = self._run_on(lint, monkeypatch, tmp_path, source)
+        assert len(violations) == 1
+        assert "not in the lazy whitelist" in violations[0]
+
+    def test_whitelisted_lazy_import_passes(self, lint, monkeypatch, tmp_path):
+        package = tmp_path / "repro" / "circuit"
+        package.mkdir(parents=True)
+        (package / "ok.py").write_text(
+            "def f():\n    from repro.gates import get_gate\n"
+        )
+        monkeypatch.setattr(lint, "SRC", tmp_path)
+        assert lint.check() == []
+
+    def test_downward_import_passes(self, lint, monkeypatch, tmp_path):
+        package = tmp_path / "repro" / "plan"
+        package.mkdir(parents=True)
+        (package / "ok.py").write_text(
+            "from repro.circuit import Circuit\n"
+            "from repro.utils.exceptions import SimulationError\n"
+        )
+        monkeypatch.setattr(lint, "SRC", tmp_path)
+        assert lint.check() == []
+
+    def test_type_checking_imports_count_as_lazy(
+        self, lint, monkeypatch, tmp_path
+    ):
+        package = tmp_path / "repro" / "circuit"
+        package.mkdir(parents=True)
+        (package / "typed.py").write_text(
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.gates import Gate\n"
+        )
+        monkeypatch.setattr(lint, "SRC", tmp_path)
+        assert lint.check() == []
+
+    def test_importing_the_facade_is_flagged(
+        self, lint, monkeypatch, tmp_path
+    ):
+        violations = self._run_on(lint, monkeypatch, tmp_path, "import repro\n")
+        assert len(violations) == 1
+        assert "facade" in violations[0]
+
+    def test_main_reports_violations_nonzero(
+        self, lint, monkeypatch, tmp_path, capsys
+    ):
+        self._run_on(lint, monkeypatch, tmp_path, "from repro.sim import run\n")
+        assert lint.main() == 1
+        assert "violation" in capsys.readouterr().err

@@ -1,0 +1,85 @@
+"""``python -m repro.analysis`` CLI: exit codes and output formats."""
+
+import json
+
+import repro.analysis.__main__ as cli
+
+
+class TestMain:
+    def test_smoke_run_is_clean_and_exits_zero(self, capsys):
+        assert cli.main(["--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "ghz" in out
+        assert "0 error(s)" in out
+
+    def test_json_output_parses(self, capsys):
+        assert cli.main(["--smoke", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_errors"] == 0
+        names = {row["name"] for row in payload["workloads"]}
+        assert "parameterized_rotations" in names
+        assert all("diagnostics" in row for row in payload["workloads"])
+
+    def test_errors_exit_nonzero(self, monkeypatch, capsys):
+        def fake_collect(smoke, backend):
+            return [
+                {
+                    "name": "broken",
+                    "num_qubits": 2,
+                    "backend": "statevector",
+                    "plan_ops": 1,
+                    "errors": 1,
+                    "warnings": 0,
+                    "infos": 0,
+                    "diagnostics": [
+                        {
+                            "severity": "error",
+                            "code": "plan-shape-mismatch",
+                            "message": "bad tensor",
+                            "site": 0,
+                            "scope": "plan",
+                        }
+                    ],
+                }
+            ]
+
+        monkeypatch.setattr(cli, "_collect", fake_collect)
+        assert cli.main([]) == 1
+        captured = capsys.readouterr()
+        assert "plan-shape-mismatch" in captured.out
+        assert "1 error(s)" in captured.err
+
+    def test_strict_fails_on_warnings(self, monkeypatch, capsys):
+        def fake_collect(smoke, backend):
+            row = {
+                "name": "sloppy",
+                "num_qubits": 2,
+                "backend": "statevector",
+                "plan_ops": 1,
+                "errors": 0,
+                "warnings": 1,
+                "infos": 0,
+                "diagnostics": [
+                    {
+                        "severity": "warning",
+                        "code": "unused-qubit",
+                        "message": "qubit 1 is never used",
+                        "site": None,
+                        "scope": "circuit",
+                    }
+                ],
+            }
+            return [row]
+
+        monkeypatch.setattr(cli, "_collect", fake_collect)
+        assert cli.main([]) == 0  # warnings alone pass by default
+        assert cli.main(["--strict"]) == 1
+        assert "warning(s)" in capsys.readouterr().err
+
+    def test_backend_override(self, capsys):
+        assert cli.main(["--smoke", "--backend", "statevector", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # Workloads that pin a backend keep it; unpinned ones use the flag.
+        backends = {row["backend"] for row in payload["workloads"]}
+        assert "statevector" in backends
+        assert "density_matrix" in backends

@@ -1,0 +1,140 @@
+"""Diagnostic / AnalysisReport value-object contracts."""
+
+import pytest
+
+from repro.analysis import (
+    ERROR,
+    INFO,
+    WARNING,
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+)
+
+
+def _d(severity=WARNING, code="unused-qubit", message="msg", **kwargs):
+    return Diagnostic(severity, code, message, **kwargs)
+
+
+class TestDiagnostic:
+    def test_fields_and_defaults(self):
+        d = _d()
+        assert d.severity == WARNING
+        assert d.code == "unused-qubit"
+        assert d.site is None
+        assert d.scope == "circuit"
+
+    def test_severity_rank_orders_most_severe_first(self):
+        assert _d(ERROR).severity_rank < _d(WARNING).severity_rank
+        assert _d(WARNING).severity_rank < _d(INFO).severity_rank
+
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(AnalysisError, match="severity"):
+            _d("fatal")
+
+    def test_empty_code_rejected(self):
+        with pytest.raises(AnalysisError, match="code"):
+            _d(code="")
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(AnalysisError, match="message"):
+            _d(message="")
+
+    def test_invalid_scope_rejected(self):
+        with pytest.raises(AnalysisError, match="scope"):
+            _d(scope="module")
+
+    def test_bool_site_rejected(self):
+        with pytest.raises(AnalysisError, match="site"):
+            _d(site=True)
+
+    def test_negative_site_rejected(self):
+        with pytest.raises(AnalysisError, match="site"):
+            _d(site=-1)
+
+    def test_site_coerced_to_int(self):
+        import numpy as np
+
+        d = _d(site=np.int64(3))
+        assert d.site == 3
+        assert type(d.site) is int
+
+    def test_str_mentions_site_noun_per_scope(self):
+        assert "instruction 2" in str(_d(site=2))
+        assert "op 2" in str(_d(site=2, scope="plan"))
+        assert "@" not in str(_d())
+
+    def test_as_dict_round_trip(self):
+        d = _d(ERROR, "non-cptp-channel", "leaky", site=1, scope="circuit")
+        assert d.as_dict() == {
+            "severity": ERROR,
+            "code": "non-cptp-channel",
+            "message": "leaky",
+            "site": 1,
+            "scope": "circuit",
+        }
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            _d().severity = ERROR
+
+
+class TestAnalysisReport:
+    def test_severity_views(self):
+        report = AnalysisReport([_d(ERROR), _d(WARNING), _d(INFO), _d(ERROR)])
+        assert len(report) == 4
+        assert len(report.errors) == 2
+        assert len(report.warnings) == 1
+        assert len(report.infos) == 1
+        assert report.has_errors
+
+    def test_empty_report_is_falsy_and_clean(self):
+        report = AnalysisReport()
+        assert not report
+        assert not report.has_errors
+        assert report.raise_if_errors() is report
+
+    def test_rejects_non_diagnostics(self):
+        with pytest.raises(AnalysisError, match="Diagnostic"):
+            AnalysisReport(["oops"])
+
+    def test_by_code_and_codes(self):
+        report = AnalysisReport(
+            [_d(code="b"), _d(code="a"), _d(code="b", severity=ERROR)]
+        )
+        assert len(report.by_code("b")) == 2
+        assert report.by_code("zzz") == ()
+        assert report.codes() == ("b", "a")
+
+    def test_raise_if_errors_carries_diagnostics(self):
+        errors = (_d(ERROR, "non-cptp-channel", "leaky", site=3),)
+        report = AnalysisReport(errors + (_d(WARNING),))
+        with pytest.raises(AnalysisError, match="non-cptp-channel") as info:
+            report.raise_if_errors("circuit 0")
+        assert info.value.diagnostics == errors
+        assert "circuit 0" in str(info.value)
+
+    def test_warnings_never_raise(self):
+        AnalysisReport([_d(WARNING), _d(INFO)]).raise_if_errors()
+
+    def test_add_merges_in_order(self):
+        a, b = _d(code="a"), _d(code="b")
+        merged = AnalysisReport([a]) + AnalysisReport([b])
+        assert tuple(merged) == (a, b)
+
+    def test_sequence_protocol(self):
+        d = _d()
+        report = AnalysisReport([d])
+        assert report[0] is d
+        assert list(iter(report)) == [d]
+
+    def test_equality_and_hash(self):
+        a = AnalysisReport([_d()])
+        b = AnalysisReport([_d()])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != AnalysisReport()
+
+    def test_as_dicts(self):
+        rows = AnalysisReport([_d(site=0)]).as_dicts()
+        assert rows[0]["code"] == "unused-qubit"

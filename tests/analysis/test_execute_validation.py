@@ -1,0 +1,102 @@
+"""RunOptions.validate wiring: off / warn / strict through execute()."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Diagnostic
+from repro.circuit import Channel, Circuit, Parameter
+from repro.execution import RunOptions, execute
+from repro.utils.exceptions import AnalysisError, ExecutionError
+
+
+def _leaky_circuit():
+    leaky = Channel("leaky", 1, [np.eye(2) * 0.5], validate=False)
+    return Circuit(1).channel(leaky, (0,))
+
+
+class TestOptionsField:
+    def test_default_is_off(self):
+        assert RunOptions().validate == "off"
+
+    @pytest.mark.parametrize("value", ["off", "warn", "strict"])
+    def test_accepted_values(self, value):
+        assert RunOptions(validate=value).validate == value
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ExecutionError, match="validate"):
+            RunOptions(validate="loud")
+
+
+class TestOffMode:
+    def test_no_diagnostics_key_by_default(self):
+        result = execute(Circuit(2).h(0))
+        assert "diagnostics" not in result.metadata
+
+    def test_off_never_raises_even_on_bad_circuits(self):
+        result = execute(_leaky_circuit(), backend="density_matrix")
+        assert "diagnostics" not in result.metadata
+
+
+class TestWarnMode:
+    def test_clean_circuit_attaches_empty_diagnostics(self):
+        result = execute(Circuit(2).h(0).cx(0, 1), validate="warn")
+        assert result.metadata["diagnostics"] == ()
+
+    def test_findings_land_in_metadata(self):
+        result = execute(Circuit(2).h(0), validate="warn")
+        diagnostics = result.metadata["diagnostics"]
+        assert any(d.code == "unused-qubit" for d in diagnostics)
+        assert all(isinstance(d, Diagnostic) for d in diagnostics)
+
+    def test_error_findings_do_not_raise_in_warn(self):
+        result = execute(
+            _leaky_circuit(), backend="density_matrix", validate="warn"
+        )
+        diagnostics = result.metadata["diagnostics"]
+        assert any(d.code == "non-cptp-channel" for d in diagnostics)
+
+    def test_sweep_attaches_diagnostics_per_point(self):
+        theta = Parameter("theta")
+        template = Circuit(2).ry(theta, 0)  # qubit 1 unused
+        batch = execute(
+            template,
+            parameter_sweep=[{"theta": 0.1}, {"theta": 0.2}],
+            validate="warn",
+        )
+        for result in batch:
+            codes = {d.code for d in result.metadata["diagnostics"]}
+            assert "unused-qubit" in codes
+
+    def test_batch_attaches_per_circuit_diagnostics(self):
+        clean = Circuit(1).h(0)
+        sloppy = Circuit(2).h(0)
+        batch = execute([clean, sloppy], validate="warn")
+        assert batch[0].metadata["diagnostics"] == ()
+        codes = {d.code for d in batch[1].metadata["diagnostics"]}
+        assert "unused-qubit" in codes
+
+
+class TestStrictMode:
+    def test_clean_circuit_passes(self):
+        result = execute(Circuit(2).h(0).cx(0, 1), validate="strict")
+        assert result.metadata["diagnostics"] == ()
+
+    def test_warnings_do_not_raise_in_strict(self):
+        result = execute(Circuit(2).h(0), validate="strict")
+        codes = {d.code for d in result.metadata["diagnostics"]}
+        assert "unused-qubit" in codes
+
+    def test_error_findings_raise_typed_error(self):
+        with pytest.raises(AnalysisError, match="non-cptp-channel") as info:
+            execute(_leaky_circuit(), backend="density_matrix", validate="strict")
+        assert info.value.diagnostics
+        assert info.value.diagnostics[0].code == "non-cptp-channel"
+
+    def test_batch_reports_which_circuit_failed(self):
+        clean = Circuit(1).h(0)
+        with pytest.raises(AnalysisError, match="circuit 1"):
+            execute(
+                [clean, _leaky_circuit()],
+                backend="density_matrix",
+                validate="strict",
+            )

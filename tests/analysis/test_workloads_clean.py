@@ -1,0 +1,38 @@
+"""Every bench workload must lint clean: zero error-severity diagnostics.
+
+This is the acceptance gate the CLI enforces in CI; the test pins it at
+the library level so a new workload (or a new rule) that introduces an
+error-severity finding fails here first, with a readable diff.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisContext, analyze, verify_plan
+from repro.bench.workloads import default_workloads, parameterized_rotations
+from repro.plan import compile_plan
+from repro.sim import get_backend
+
+
+def _cases():
+    for workload in default_workloads(smoke=True):
+        yield pytest.param(
+            workload.build,
+            workload.backend or "statevector",
+            id=f"{workload.name}-n{workload.num_qubits}",
+        )
+    yield pytest.param(
+        lambda: parameterized_rotations(4)[0],
+        "statevector",
+        id="parameterized_rotations-n4",
+    )
+
+
+@pytest.mark.parametrize("build, backend_name", _cases())
+def test_workload_has_zero_error_diagnostics(build, backend_name):
+    circuit = build()
+    backend = get_backend(backend_name)
+    report = analyze(
+        circuit, context=AnalysisContext(mode=backend.plan_mode)
+    )
+    report = report + verify_plan(compile_plan(circuit, backend))
+    assert not report.has_errors, [str(d) for d in report.errors]

@@ -149,3 +149,39 @@ class TestChannelInCircuit:
     def test_depth_counts_channels(self):
         circuit = Circuit(1).h(0).channel(_flip(), (0,)).h(0)
         assert circuit.depth() == 3
+
+
+class TestChannelUnpickling:
+    def test_round_trip_re_freezes_kraus(self):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(_flip()))
+        assert clone == _flip()
+        for operator in clone.kraus:
+            assert not operator.flags.writeable
+
+    def test_corrupted_state_shape_rejected(self):
+        channel = _flip()
+        slots = {
+            "_name": "flip",
+            "_num_qubits": 1,
+            "_kraus": (np.eye(4),),  # wrong dim for 1 qubit
+            "_params": (0.25,),
+        }
+        clone = Channel.__new__(Channel)
+        with pytest.raises(CircuitError, match="shape"):
+            clone.__setstate__((None, slots))
+
+    def test_valid_state_restores(self):
+        source = _flip()
+        slots = {
+            "_name": source.name,
+            "_num_qubits": source.num_qubits,
+            "_kraus": tuple(np.array(k) for k in source.kraus),
+            "_params": source.params,
+        }
+        clone = Channel.__new__(Channel)
+        clone.__setstate__((None, slots))
+        assert clone == source
+        for operator in clone.kraus:
+            assert not operator.flags.writeable

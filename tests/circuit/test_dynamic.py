@@ -149,3 +149,75 @@ class TestClbitsUsed:
         assert clbits_used(Conditional(2, 0, get_gate("x"))) == 3
         assert clbits_used(Reset()) == 0
         assert clbits_used(get_gate("h")) == 0
+
+
+class TestPinnedClassicalRegister:
+    def test_default_register_is_unpinned(self):
+        assert Circuit(2).clbits_pinned is False
+
+    def test_explicit_width_pins(self):
+        assert Circuit(2, num_clbits=3).clbits_pinned is True
+        assert Circuit(2, num_clbits=0).clbits_pinned is True
+
+    def test_pinned_measure_out_of_range_raises_eagerly(self):
+        circuit = Circuit(2, num_clbits=2)
+        with pytest.raises(CircuitError, match="pinned"):
+            circuit.measure(0, 2)
+        assert len(circuit) == 0  # the bad append left no trace
+
+    def test_pinned_if_bit_out_of_range_raises_eagerly(self):
+        circuit = Circuit(2, num_clbits=1)
+        with pytest.raises(CircuitError, match="pinned"):
+            circuit.if_bit(4, 1, Instruction(get_gate("x"), (0,)))
+
+    def test_pinned_within_range_appends(self):
+        circuit = Circuit(2, num_clbits=2).measure(0, 1)
+        assert circuit.num_clbits == 2
+
+    def test_unpinned_still_widens(self):
+        circuit = Circuit(2).measure(0, 5)
+        assert circuit.num_clbits == 6
+
+    def test_copy_preserves_pin(self):
+        assert Circuit(1, num_clbits=1).copy().clbits_pinned is True
+        assert Circuit(1).copy().clbits_pinned is False
+
+    def test_remapped_preserves_pin(self):
+        assert Circuit(2, num_clbits=1).remapped([1, 0]).clbits_pinned is True
+        assert Circuit(2).remapped([1, 0]).clbits_pinned is False
+
+    def test_bind_preserves_pin(self):
+        theta = Parameter("theta")
+        template = Circuit(1, num_clbits=1).ry(theta, 0).measure(0, 0)
+        assert template.bind({"theta": 0.5}).clbits_pinned is True
+
+    def test_compose_pins_if_either_side_is_pinned(self):
+        pinned = Circuit(1, num_clbits=1).measure(0, 0)
+        auto = Circuit(1).measure(0, 0)
+        assert auto.compose(pinned).clbits_pinned is True
+        assert pinned.compose(auto).clbits_pinned is True
+        assert auto.compose(auto.copy()).clbits_pinned is False
+
+    def test_compose_merges_to_the_wider_register(self):
+        wide = Circuit(1, num_clbits=4)
+        narrow = Circuit(1, num_clbits=1).measure(0, 0)
+        assert narrow.compose(wide).num_clbits == 4
+
+    def test_pickle_preserves_pin(self):
+        pinned = pickle.loads(pickle.dumps(Circuit(1, num_clbits=2)))
+        assert pinned.clbits_pinned is True
+        auto = pickle.loads(pickle.dumps(Circuit(1)))
+        assert auto.clbits_pinned is False
+
+    def test_transpile_preserves_pin(self):
+        from repro.transpile import transpile
+
+        pinned = Circuit(2, num_clbits=1).h(0).h(0).measure(0, 0)
+        assert transpile(pinned).clbits_pinned is True
+        auto = Circuit(2).h(0).h(0).measure(0, 0)
+        assert transpile(auto).clbits_pinned is False
+
+    def test_extend_respects_pin(self):
+        source = Circuit(1).measure(0, 3)
+        with pytest.raises(CircuitError, match="pinned"):
+            Circuit(1, num_clbits=1).extend(source.instructions)

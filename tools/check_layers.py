@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Layering lint: enforce the repro module DAG with an AST walk.
+
+The package docstring of :mod:`repro` promises a strict layering — each
+layer imports only the layers above it.  That promise is cheap to break
+silently: one convenience import in a low layer and suddenly ``repro.circuit``
+drags in a simulation backend.  This tool parses every module under
+``src/repro`` (no imports are executed), extracts the ``repro.*`` imports,
+and checks them against the rank table below.
+
+Rules
+-----
+- A *module-level* import must target a layer of rank <= the importer's
+  rank (equal rank means "same layer", i.e. intra-package imports).
+- A *function-level* (lazy) import may point upward only when the
+  ``(importer layer, imported layer)`` pair is explicitly whitelisted.
+  Lazy upward imports are how the IR resolves gate names without a
+  compile-time dependency — but each such hole is declared here, not
+  implicit.
+- ``__main__`` CLI modules and the ``repro`` facade package sit at the
+  top: they may import anything.
+- ``typing.TYPE_CHECKING`` blocks are treated as lazy (annotation-only).
+
+Exit status is non-zero when any violation is found; CI runs this as a
+blocking step.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+# Layer rank table, lowest (most fundamental) first.  Longest-prefix match:
+# repro.execution.options sits *below* the simulation stack (it is plain
+# configuration data), while the rest of repro.execution sits near the top.
+RANKS: List[Tuple[str, int]] = [
+    ("repro.utils", 0),
+    ("repro.circuit", 1),
+    ("repro.gates", 2),
+    ("repro.noise", 3),
+    ("repro.transpile", 4),
+    ("repro.execution.options", 5),
+    ("repro.plan", 6),
+    ("repro.analysis", 7),
+    ("repro.sim", 8),
+    ("repro.observables", 9),
+    ("repro.sampling", 10),
+    ("repro.execution", 11),
+    ("repro.service", 12),
+    ("repro.bench", 13),
+]
+
+# CLI entry points and the facade package re-export the world by design.
+TOP_RANK = 99
+
+# Declared lazy upward imports: (importer layer, imported layer).  Each is a
+# deliberate inversion, documented where it happens:
+# - repro.circuit -> repro.gates: convenience builders (Circuit.h, .cx, ...)
+#   resolve through the gate registry at call time.
+# - repro.plan -> repro.sim: compile_plan(circuit) resolves a backend name
+#   through the backend registry at call time.
+# - repro.execution -> repro.service: execute(..., workers=N) hands off to
+#   the worker pool at call time.
+LAZY_WHITELIST = {
+    ("repro.circuit", "repro.gates"),
+    ("repro.plan", "repro.sim"),
+    ("repro.execution", "repro.service"),
+}
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name of ``path`` relative to ``src``."""
+    relative = path.relative_to(SRC).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def layer_of(module: str) -> Optional[Tuple[str, int]]:
+    """(layer name, rank) by longest prefix, or None for non-repro."""
+    if module == "repro" or module.endswith(".__main__"):
+        return (module, TOP_RANK)
+    best: Optional[Tuple[str, int]] = None
+    for prefix, rank in RANKS:
+        if module == prefix or module.startswith(prefix + "."):
+            if best is None or len(prefix) > len(best[0]):
+                best = (prefix, rank)
+    return best
+
+
+class _ImportCollector(ast.NodeVisitor):
+    """Collect repro imports, tagging each as module-level or lazy."""
+
+    def __init__(self, module: str) -> None:
+        self.module = module
+        self.package = module.rsplit(".", 1)[0] if "." in module else module
+        # (imported module, lineno, lazy?)
+        self.imports: List[Tuple[str, int, bool]] = []
+        self._depth = 0  # function nesting; >0 means lazy
+        self._type_checking = 0
+
+    @property
+    def _lazy(self) -> bool:
+        return self._depth > 0 or self._type_checking > 0
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_If(self, node: ast.If) -> None:
+        test = ast.dump(node.test)
+        if "TYPE_CHECKING" in test:
+            self._type_checking += 1
+            self.generic_visit(node)
+            self._type_checking -= 1
+        else:
+            self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "repro" or alias.name.startswith("repro."):
+                self.imports.append((alias.name, node.lineno, self._lazy))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:  # relative import: resolve against the package
+            base = self.package.split(".")
+            base = base[: len(base) - (node.level - 1)]
+            target = ".".join(base + ([node.module] if node.module else []))
+        else:
+            target = node.module or ""
+        if target == "repro" or target.startswith("repro."):
+            self.imports.append((target, node.lineno, self._lazy))
+
+
+def iter_modules() -> Iterator[Path]:
+    yield from sorted((SRC / "repro").rglob("*.py"))
+
+
+def check() -> List[str]:
+    violations: List[str] = []
+    for path in iter_modules():
+        module = module_name(path)
+        importer = layer_of(module)
+        if importer is None:
+            violations.append(f"{path}: module {module!r} has no layer rank")
+            continue
+        importer_layer, importer_rank = importer
+        if importer_rank == TOP_RANK:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        collector = _ImportCollector(module)
+        collector.visit(tree)
+        for imported, lineno, lazy in collector.imports:
+            target = layer_of(imported)
+            if target is None:
+                violations.append(
+                    f"{path}:{lineno}: import of unranked module {imported!r}"
+                )
+                continue
+            target_layer, target_rank = target
+            if target_rank == TOP_RANK:
+                violations.append(
+                    f"{path}:{lineno}: {module} imports the facade/CLI "
+                    f"module {imported} (rank inversion)"
+                )
+                continue
+            if target_rank <= importer_rank:
+                continue
+            if lazy and (importer_layer, target_layer) in LAZY_WHITELIST:
+                continue
+            kind = "lazy import" if lazy else "module-level import"
+            violations.append(
+                f"{path}:{lineno}: {kind} of {imported} "
+                f"({target_layer}, rank {target_rank}) from {module} "
+                f"({importer_layer}, rank {importer_rank}) inverts the "
+                f"layering"
+                + (
+                    ""
+                    if not lazy
+                    else " and is not in the lazy whitelist"
+                )
+            )
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    if violations:
+        print(f"layering lint: {len(violations)} violation(s)", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    count = sum(1 for _ in iter_modules())
+    print(f"layering lint: {count} modules clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
