@@ -12,12 +12,14 @@ Layering (each layer depends only on the ones above it)::
     repro.plan         compiled ExecutionPlans: compile once, bind/run many,
                        batched sweeps, process-wide plan cache; dynamic ops
                        lower to MeasureOp/ResetOp/ConditionalOp
-    repro.analysis     static analysis: circuit lint rules (analyze) and
-                       compiled-plan verification (verify_plan), wired into
-                       execute() via RunOptions(validate=...)
+    repro.analysis     static analysis: circuit lint rules (analyze),
+                       compiled-plan verification (verify_plan), transpile
+                       certification (certify_rewrite -> Certificate), and
+                       the runtime numerical sanitizer — wired into
+                       execute() via RunOptions(validate=/certify=/sanitize=)
     repro.sim          backend registry: statevector + density-matrix +
                        Monte-Carlo trajectory engines executing plans
-                       through one shared loop
+                       through one shared (sanitizer-instrumentable) loop
     repro.sampling     shot sampling -> Counts (any backend, readout noise)
     repro.observables  Pauli / PauliSum observables, (batched) expectations
     repro.execution    execute() front door: RunOptions, Job, Result/BatchResult
@@ -110,6 +112,7 @@ from repro.transpile import (
 )
 from repro.utils import (
     AnalysisError,
+    CertificationError,
     CircuitError,
     ExecutionError,
     ExecutionQueueFullError,
@@ -117,6 +120,7 @@ from repro.utils import (
     NoiseModelError,
     ParallelExecutionError,
     ReproError,
+    SanitizerError,
     SimulationError,
     TranspilerError,
     all_bitstrings,
@@ -131,7 +135,7 @@ from repro.utils import (
     spawn_seeds,
 )
 
-__version__ = "0.7.0"
+__version__ = "0.8.0"
 
 __all__ = [
     "__version__",
@@ -216,6 +220,8 @@ __all__ = [
     # utils: exceptions
     "ReproError",
     "AnalysisError",
+    "CertificationError",
+    "SanitizerError",
     "CircuitError",
     "TranspilerError",
     "SimulationError",

@@ -19,13 +19,30 @@ execution:
   ``Result.metadata["diagnostics"]``, ``strict`` raises
   :class:`~repro.utils.exceptions.AnalysisError` on error-severity
   findings.
+- :func:`certify_rewrite` statically *proves* a transpile-pass rewrite
+  semantically equivalent to its input (local unitary comparison on each
+  rewrite's support — never a dense ``2^n`` operator — plus dataflow and
+  channel-preservation checks), producing a per-pass :class:`Certificate`.
+  ``transpile(certify=True)`` / ``RunOptions(certify=True)`` wire it into
+  every pass application.
+- :class:`Sanitizer` watches the live ``execute_plan`` evolution for
+  numerical violations (norm drift, NaN/Inf, dtype promotion, probability
+  sums) under ``RunOptions(sanitize="warn"|"strict")`` or the
+  ``REPRO_SANITIZE`` environment variable.
 - ``python -m repro.analysis`` lints the bench workloads from the
-  command line and exits non-zero on errors.
+  command line and exits non-zero on errors; ``--certify`` certifies the
+  default pass pipeline over every workload instead.
 
 The layer sits below the simulation stack: it imports circuit/plan IR
 only, so frontends (e.g. a QASM ingester) can lint untrusted input
-without pulling in backends.
+without pulling in backends.  The certifier and sanitizer submodules are
+re-exported **lazily** (PEP 562): importing :mod:`repro.analysis` — which
+the ``repro`` facade does eagerly — must not load them, because the
+``certify=False`` / ``sanitize="off"`` hot paths guarantee those modules
+are never imported at all.
 """
+
+from typing import Any
 
 from repro.analysis.diagnostics import (
     ERROR,
@@ -45,6 +62,32 @@ from repro.analysis.rules import (
 )
 from repro.utils.exceptions import AnalysisError
 
+# Lazy (PEP 562) exports: resolved on first attribute access so the
+# default execution paths never pay for — or even import — the certifier
+# and sanitizer machinery.  tests/analysis/test_lazy_imports.py pins this.
+_LAZY_EXPORTS = {
+    "Certificate": ("repro.analysis.certify", "Certificate"),
+    "certify_rewrite": ("repro.analysis.certify", "certify_rewrite"),
+    "Sanitizer": ("repro.analysis.sanitize", "Sanitizer"),
+    "SanitizerWarning": ("repro.analysis.sanitize", "SanitizerWarning"),
+    "sanitize_batch": ("repro.analysis.sanitize", "sanitize_batch"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value  # cache: __getattr__ runs once per name
+    return value
+
+
 __all__ = [
     "Diagnostic",
     "AnalysisReport",
@@ -56,6 +99,11 @@ __all__ = [
     "register_rule",
     "get_rule",
     "available_rules",
+    "Certificate",
+    "certify_rewrite",
+    "Sanitizer",
+    "SanitizerWarning",
+    "sanitize_batch",
     "ERROR",
     "WARNING",
     "INFO",

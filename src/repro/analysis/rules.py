@@ -14,12 +14,15 @@ circuit and returns the combined
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import (
+    Any,
     Dict,
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Protocol,
     Tuple,
@@ -33,11 +36,30 @@ from repro.analysis.diagnostics import (
     WARNING,
     AnalysisReport,
     Diagnostic,
+    _SEVERITY_RANK,
 )
 from repro.circuit import Circuit
 from repro.utils.exceptions import AnalysisError
 
 _GIB = 1024**3
+
+
+def _code_tuple(field: str, value: Any) -> Tuple[str, ...]:
+    """Normalise a select/ignore spec to a lowercase code tuple."""
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        # A bare string is a one-element spec, not an iterable of chars.
+        value = (value,)
+    codes = []
+    for code in value:
+        if not isinstance(code, str) or not code:
+            raise AnalysisError(
+                f"{field} entries must be non-empty diagnostic codes, "
+                f"got {code!r}"
+            )
+        codes.append(code.lower())
+    return tuple(codes)
 
 
 @dataclass(frozen=True)
@@ -58,12 +80,83 @@ class AnalysisContext:
         are warnings.
     itemsize:
         Bytes per amplitude (16 for complex128).
+    select:
+        Diagnostic codes to keep (ruff-style): empty (default) keeps
+        everything; otherwise only findings whose code is listed survive
+        :meth:`apply`.  Matched case-insensitively, like the rule
+        registry.
+    ignore:
+        Diagnostic codes to drop, applied after ``select``.
+    severity_overrides:
+        Per-code severity rewrites, e.g. ``{"unused-qubit": "error"}``
+        promotes that finding to error severity (so strict mode fails on
+        it).  Accepts any mapping of code -> ``"error"``/``"warning"``/
+        ``"info"`` (normalised to a sorted tuple of pairs so the context
+        stays hashable).
     """
 
     mode: Optional[str] = None
     max_memory_bytes: int = 64 * _GIB
     warn_memory_bytes: int = 4 * _GIB
     itemsize: int = 16
+    select: Tuple[str, ...] = ()
+    ignore: Tuple[str, ...] = ()
+    severity_overrides: Any = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "select", _code_tuple("select", self.select))
+        object.__setattr__(self, "ignore", _code_tuple("ignore", self.ignore))
+        overrides = self.severity_overrides
+        if isinstance(overrides, Mapping):
+            pairs = tuple(overrides.items())
+        else:
+            pairs = tuple(overrides)
+        normalised = []
+        for entry in pairs:
+            try:
+                code, level = entry
+            except (TypeError, ValueError):
+                raise AnalysisError(
+                    f"severity_overrides entries must be (code, severity) "
+                    f"pairs, got {entry!r}"
+                ) from None
+            if not isinstance(code, str) or not code:
+                raise AnalysisError(
+                    f"severity_overrides codes must be non-empty strings, "
+                    f"got {code!r}"
+                )
+            if level not in _SEVERITY_RANK:
+                raise AnalysisError(
+                    f"severity override for {code!r} must be one of "
+                    f"{sorted(_SEVERITY_RANK)}, got {level!r}"
+                )
+            normalised.append((code.lower(), level))
+        object.__setattr__(
+            self, "severity_overrides", tuple(sorted(normalised))
+        )
+
+    def apply(self, diagnostics: Iterable[Diagnostic]) -> Tuple[Diagnostic, ...]:
+        """Filter and re-severity ``diagnostics`` per this context.
+
+        ``select`` (when non-empty) keeps only listed codes, ``ignore``
+        then drops its codes, and ``severity_overrides`` rewrites the
+        severity of what remains — the order every linter with these
+        knobs uses.  Codes match case-insensitively.  Idempotent, so
+        layered reports (circuit + plan) can be filtered more than once.
+        """
+        overrides = dict(self.severity_overrides)
+        kept: List[Diagnostic] = []
+        for diagnostic in diagnostics:
+            code = diagnostic.code.lower()
+            if self.select and code not in self.select:
+                continue
+            if code in self.ignore:
+                continue
+            level = overrides.get(code)
+            if level is not None and level != diagnostic.severity:
+                diagnostic = dataclasses.replace(diagnostic, severity=level)
+            kept.append(diagnostic)
+        return tuple(kept)
 
 
 @runtime_checkable
@@ -89,7 +182,8 @@ def register_rule(rule: Rule, replace: bool = False) -> None:
     """Register ``rule`` under ``rule.code``.
 
     Duplicate codes are rejected unless ``replace=True`` — silently
-    shadowing a rule is how checks rot away unnoticed.
+    shadowing a rule is how checks rot away unnoticed.  Codes are
+    case-insensitive, like gate and backend names.
     """
     code = getattr(rule, "code", None)
     if not isinstance(code, str) or not code:
@@ -98,28 +192,29 @@ def register_rule(rule: Rule, replace: bool = False) -> None:
         )
     if not callable(getattr(rule, "check", None)):
         raise AnalysisError(f"rule {code!r} must define a check() method")
-    if code in _RULES and not replace:
+    key = code.lower()
+    if key in _RULES and not replace:
         raise AnalysisError(
             f"rule {code!r} is already registered; pass replace=True to "
             "override it"
         )
-    _RULES[code] = rule
+    _RULES[key] = rule
 
 
 def get_rule(code: str) -> Rule:
-    """Look up a registered rule by code."""
+    """Look up a registered rule by code (case-insensitive)."""
     try:
-        return _RULES[code]
+        return _RULES[str(code).lower()]
     except KeyError:
         raise AnalysisError(
-            f"unknown analysis rule {code!r}; registered rules: "
-            f"{sorted(_RULES)}"
+            f"unknown analysis rule {code!r}; available: "
+            f"{', '.join(available_rules())}"
         ) from None
 
 
 def available_rules() -> Tuple[str, ...]:
-    """Registered rule codes, in registration order."""
-    return tuple(_RULES)
+    """Registered rule codes, sorted (matching gates/backends)."""
+    return tuple(sorted(_RULES))
 
 
 # ----------------------------------------------------------------------
@@ -463,7 +558,7 @@ def analyze(
     diagnostics: List[Diagnostic] = []
     for rule in selected:
         diagnostics.extend(rule.check(circuit, context))
-    return AnalysisReport(diagnostics)
+    return AnalysisReport(context.apply(diagnostics))
 
 
 __all__ = [

@@ -1,0 +1,195 @@
+"""Runtime numerical sanitizers for the shared ``execute_plan`` loop.
+
+Static analysis (:func:`~repro.analysis.analyze`,
+:func:`~repro.analysis.verify_plan`) proves what can be proven before a
+state is allocated; the sanitizer watches the invariants only the live
+evolution can break — a NaN creeping out of a degenerate matrix, norm
+drifting under a broken op tensor, a contraction silently promoting the
+plan's dtype.  :class:`Sanitizer` hooks the tight loop in
+:meth:`repro.sim.registry.BaseBackend.execute_plan` after every op,
+so a violation is reported at the op that caused it, not at readout.
+
+Modes (``RunOptions(sanitize=)``, env fallback ``REPRO_SANITIZE``):
+
+- ``"off"`` — the default; ``execute_plan`` never imports this module.
+- ``"warn"`` — findings collect as :class:`~repro.analysis.Diagnostic`
+  objects (code prefix ``sanitize-``) and fire a :class:`SanitizerWarning`
+  at the end of the evolution.
+- ``"strict"`` — the first violation raises
+  :class:`~repro.utils.exceptions.SanitizerError` mid-loop.
+
+Checks cost one reduction over the state per op — useful for CI legs and
+debugging sessions, which is why they are opt-in rather than ambient.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.diagnostics import ERROR, Diagnostic
+from repro.utils.exceptions import SanitizerError
+
+if TYPE_CHECKING:
+    from repro.plan.plan import ExecutionPlan
+
+
+class SanitizerWarning(RuntimeWarning):
+    """Fired (once per evolution) when ``sanitize="warn"`` finds problems."""
+
+
+def _norm_tolerance(dtype: np.dtype, num_ops: int) -> float:
+    """Norm/trace drift budget scaled to dtype precision and circuit depth."""
+    eps = float(np.finfo(np.dtype(dtype)).eps)
+    return np.sqrt(eps) * 16.0 * max(1, num_ops)
+
+
+class Sanitizer:
+    """Per-evolution numerical watchdog (one instance per ``execute_plan``).
+
+    The backend calls :meth:`after_op` behind every static op application
+    and :meth:`finish` once the final tensor exists; dynamic plans (whose
+    intermediate states live inside the branch bookkeeping) get the
+    finish-time checks only.
+    """
+
+    __slots__ = ("_plan", "_mode", "_pure", "_tolerance", "diagnostics")
+
+    def __init__(self, plan: "ExecutionPlan", mode: str) -> None:
+        if mode not in ("warn", "strict"):
+            raise SanitizerError(
+                f"sanitizer runs in 'warn' or 'strict' mode, got {mode!r}"
+            )
+        self._plan = plan
+        self._mode = mode
+        self._pure = plan.mode != "density"
+        self._tolerance = _norm_tolerance(plan.dtype, len(plan.ops))
+        self.diagnostics: List[Diagnostic] = []
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    def _report(self, code: str, message: str, site: Optional[int]) -> None:
+        diagnostic = Diagnostic(ERROR, code, message, site=site, scope="plan")
+        self.diagnostics.append(diagnostic)
+        if self._mode == "strict":
+            raise SanitizerError(
+                f"sanitizer violation during execute_plan: {diagnostic}",
+                diagnostics=(diagnostic,),
+            )
+
+    def _weight(self, tensor: np.ndarray) -> float:
+        """Total probability weight: <psi|psi> or tr(rho)."""
+        if self._pure:
+            return float(np.real(np.vdot(tensor, tensor)))
+        n = self._plan.num_qubits
+        matrix = tensor.reshape(1 << n, 1 << n)
+        return float(np.real(np.trace(matrix)))
+
+    def _check_tensor(self, tensor: np.ndarray, site: Optional[int], where: str) -> None:
+        if tensor.dtype != self._plan.dtype:
+            self._report(
+                "sanitize-dtype-promotion",
+                f"{where}: state dtype drifted to {tensor.dtype} from the "
+                f"plan's {self._plan.dtype} — an op tensor was not cast at "
+                f"compile time",
+                site,
+            )
+            return
+        if not np.all(np.isfinite(tensor)):
+            self._report(
+                "sanitize-non-finite",
+                f"{where}: state contains NaN/Inf amplitudes",
+                site,
+            )
+            return
+        weight = self._weight(tensor)
+        if abs(weight - 1.0) > self._tolerance:
+            kind = "norm <psi|psi>" if self._pure else "trace tr(rho)"
+            self._report(
+                "sanitize-norm-drift",
+                f"{where}: {kind} = {weight:.12g} drifted from 1 by more "
+                f"than {self._tolerance:.3e}",
+                site,
+            )
+
+    def after_op(self, tensor: np.ndarray, site: int, op: Any) -> None:
+        """Check the state right after static op ``site`` applied."""
+        self._check_tensor(
+            tensor, site, f"after op {site} ({type(op).__name__})"
+        )
+
+    def finish(self, tensor: np.ndarray) -> Tuple[Diagnostic, ...]:
+        """Final-state checks; returns (and in warn mode, warns about) findings."""
+        self._check_tensor(tensor, None, "final state")
+        self._check_probabilities(tensor)
+        found = tuple(self.diagnostics)
+        if found and self._mode == "warn":
+            summary = "; ".join(str(d) for d in found)
+            warnings.warn(
+                f"sanitizer found {len(found)} violation(s): {summary}",
+                SanitizerWarning,
+                stacklevel=2,
+            )
+        return found
+
+    def _check_probabilities(self, tensor: np.ndarray) -> None:
+        """Readout distribution must be non-negative and sum to one."""
+        if self._pure:
+            probabilities = np.abs(tensor.reshape(-1)) ** 2
+        else:
+            n = self._plan.num_qubits
+            probabilities = np.real(
+                np.diagonal(tensor.reshape(1 << n, 1 << n))
+            )
+        total = float(probabilities.sum())
+        negative = float(probabilities.min()) if probabilities.size else 0.0
+        if negative < -self._tolerance:
+            self._report(
+                "sanitize-probability-sum",
+                f"final state: readout distribution has a negative "
+                f"probability ({negative:.3e})",
+                None,
+            )
+            return
+        if abs(total - 1.0) > self._tolerance:
+            self._report(
+                "sanitize-probability-sum",
+                f"final state: readout probabilities sum to {total:.12g}, "
+                f"off 1 by more than {self._tolerance:.3e}",
+                None,
+            )
+
+
+def sanitize_batch(
+    plan: "ExecutionPlan", batch: np.ndarray, mode: str
+) -> Tuple[Diagnostic, ...]:
+    """Finish-time checks over every element of a batched-sweep state.
+
+    The batched sweep applies each op to all bindings in one contraction,
+    so there is no per-op hook; instead each element of the final
+    ``(N, 2, ..., 2)`` stack gets the final-state checks.  Returns every
+    finding (strict mode raises at the first, like :class:`Sanitizer`).
+    """
+    diagnostics: List[Diagnostic] = []
+    for index in range(batch.shape[0]):
+        sanitizer = Sanitizer(plan, mode)
+        sanitizer.diagnostics = diagnostics
+        sanitizer._check_tensor(
+            batch[index], None, f"batched sweep element {index} final state"
+        )
+        sanitizer._check_probabilities(batch[index])
+    if diagnostics and mode == "warn":
+        summary = "; ".join(str(d) for d in diagnostics)
+        warnings.warn(
+            f"sanitizer found {len(diagnostics)} violation(s): {summary}",
+            SanitizerWarning,
+            stacklevel=2,
+        )
+    return tuple(diagnostics)
+
+
+__all__ = ["Sanitizer", "SanitizerWarning", "sanitize_batch"]

@@ -42,7 +42,7 @@ import numpy as np
 
 from repro.circuit import Circuit, Parameter
 from repro.execution.job import BatchResult, Job, Result
-from repro.execution.options import RunOptions
+from repro.execution.options import RunOptions, resolve_sanitize_mode
 from repro.observables import expectation
 from repro.sampling.counts import Counts
 from repro.sampling.sampler import (
@@ -206,7 +206,7 @@ def element_payload(
     if bound.has_dynamic_ops:
         return _dynamic_payload(bound, index, options, backend, workers)
     t0 = time.perf_counter()
-    state = backend.execute_plan(bound)
+    state = backend.execute_plan(bound, sanitize=options.sanitize)
     run_time = time.perf_counter() - t0
     counts = memory = None
     sample_time = 0.0
@@ -255,7 +255,9 @@ def trajectory_shard(
     for t in range(start, start + count):
         rng = ensure_rng(derive_seed(options.seed, element_index, t))
         classical: Dict[str, Any] = {}
-        state = backend.execute_plan(plan, rng=rng, classical=classical)
+        state = backend.execute_plan(
+            plan, rng=rng, classical=classical, sanitize=options.sanitize
+        )
         if plan.num_clbits:
             outcome = classical["bits"]
         else:
@@ -369,7 +371,9 @@ def _dynamic_payload(
     if plan.mode == "density":
         t0 = time.perf_counter()
         classical: Dict[str, Any] = {}
-        state = backend.execute_plan(plan, classical=classical)
+        state = backend.execute_plan(
+            plan, classical=classical, sanitize=options.sanitize
+        )
         run_time = time.perf_counter() - t0
         counts = memory = None
         sample_time = 0.0
@@ -410,7 +414,7 @@ def _dynamic_payload(
         # seeded as trajectory 0 of this element for reproducibility.
         t0 = time.perf_counter()
         rng = ensure_rng(derive_seed(options.seed, index, 0))
-        state = backend.execute_plan(plan, rng=rng)
+        state = backend.execute_plan(plan, rng=rng, sanitize=options.sanitize)
         return {
             "index": index,
             "state": state,
@@ -611,6 +615,14 @@ def _run_sweep(
         t0 = time.perf_counter()
         batch_states = run_batched_sweep(plan, bindings)
         run_time = time.perf_counter() - t0
+        sanitize_mode = resolve_sanitize_mode(options.sanitize)
+        if sanitize_mode != "off":
+            # Batched evolution has no per-op hook; run the final-state
+            # checks on every element of the stack (lazy import keeps the
+            # default path analysis-free, like _circuit_reports).
+            from repro.analysis.sanitize import sanitize_batch
+
+            sanitize_batch(plan, batch_states, sanitize_mode)
         per_observable = [
             expectation_batched(batch_states, observable)
             for observable in options.observables

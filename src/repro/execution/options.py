@@ -15,10 +15,35 @@ from __future__ import annotations
 
 import dataclasses
 import numbers
+import os
 from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
 from repro.utils.exceptions import ExecutionError
+
+#: Runtime-sanitizer modes (see :mod:`repro.analysis.sanitize`).
+SANITIZE_MODES = ("off", "warn", "strict")
+
+#: Environment fallback for ``RunOptions.sanitize=None`` — lets a CI
+#: matrix flip whole test suites to sanitized execution without touching
+#: call sites, mirroring ``REPRO_MAX_WORKERS``.
+SANITIZE_ENV_VAR = "REPRO_SANITIZE"
+
+
+def resolve_sanitize_mode(mode: Optional[str]) -> str:
+    """The effective sanitizer mode: explicit value, else env var, else off.
+
+    Lives here (below the simulation stack) so ``execute_plan`` can
+    resolve the mode without importing :mod:`repro.analysis` — the
+    resolved ``"off"`` keeps the hot path entirely analysis-free.
+    """
+    if mode is None:
+        mode = os.environ.get(SANITIZE_ENV_VAR, "").strip().lower() or "off"
+    if mode not in SANITIZE_MODES:
+        raise ExecutionError(
+            f"sanitize mode must be one of {SANITIZE_MODES}, got {mode!r}"
+        )
+    return mode
 
 
 def _as_int(value: Any) -> Optional[int]:
@@ -96,6 +121,23 @@ class RunOptions:
         ``Result.metadata["diagnostics"]``, and ``"strict"`` additionally
         raises :class:`~repro.utils.exceptions.AnalysisError` when any
         error-severity diagnostic is found.
+    certify:
+        Prove every transpile-pass application semantically equivalent
+        (:func:`repro.analysis.certify_rewrite`) while compiling; the
+        per-pass :class:`~repro.analysis.Certificate` dicts ride on
+        ``plan.pass_stats`` and an unprovable rewrite raises
+        :class:`~repro.utils.exceptions.CertificationError` at compile
+        time.  Only meaningful together with ``optimize``/``passes``
+        (an unoptimised compile applies no rewrites to certify).
+    sanitize:
+        Runtime numerical checks inside the shared ``execute_plan``
+        loop (norm drift, NaN/Inf, dtype promotion, probability sums):
+        ``None`` (default) defers to the ``REPRO_SANITIZE`` environment
+        variable (absent -> ``"off"``); ``"off"`` disables them with
+        zero hot-path cost; ``"warn"`` collects findings and fires a
+        :class:`~repro.analysis.sanitize.SanitizerWarning`; ``"strict"``
+        raises :class:`~repro.utils.exceptions.SanitizerError` at the
+        offending op.
     """
 
     backend: Any = None
@@ -110,6 +152,8 @@ class RunOptions:
     max_workers: Optional[int] = None
     shard_shots: int = 0
     validate: str = "off"
+    certify: bool = False
+    sanitize: Optional[str] = None
 
     def __post_init__(self) -> None:
         shots = _as_int(self.shots)
@@ -162,6 +206,12 @@ class RunOptions:
             raise ExecutionError(
                 f"validate must be 'off', 'warn', or 'strict', "
                 f"got {self.validate!r}"
+            )
+        object.__setattr__(self, "certify", bool(self.certify))
+        if self.sanitize is not None and self.sanitize not in SANITIZE_MODES:
+            raise ExecutionError(
+                f"sanitize must be one of {SANITIZE_MODES} or None "
+                f"(defer to {SANITIZE_ENV_VAR}), got {self.sanitize!r}"
             )
 
     def replace(self, **changes: Any) -> "RunOptions":

@@ -114,6 +114,11 @@ def _key(
         circuit.stats().key(),
         circuit.instructions,
         bool(options.optimize),
+        # Certified and uncertified compiles of the same circuit differ
+        # (pass_stats carries the certificates), so they must not share
+        # a cache entry — a certify=True call handed an uncertified plan
+        # would silently skip the proof.
+        bool(options.certify),
         _passes_key(options.passes),
         _noise_key(options.noise_model),
     )

@@ -987,6 +987,7 @@ def compile_plan(
             passes=options.passes,
             pass_manager_out=managers,
             lower=_hooked_lower,
+            certify=options.certify,
         )
         transpile_time = marks.get("transpiled_at", time.perf_counter()) - t0
         if managers:

@@ -43,6 +43,7 @@ from typing import (
 import numpy as np
 
 from repro.circuit import Circuit
+from repro.execution.options import resolve_sanitize_mode
 from repro.utils.exceptions import SimulationError
 
 if TYPE_CHECKING:
@@ -158,7 +159,9 @@ class BaseBackend:
             # is a single stochastic trajectory; options.seed makes it
             # reproducible.  Shot-resolved sampling lives in execute().
             rng = np.random.default_rng(options.seed)
-        return self.execute_plan(plan, initial_state, rng=rng)
+        return self.execute_plan(
+            plan, initial_state, rng=rng, sanitize=options.sanitize
+        )
 
     def execute_plan(
         self,
@@ -167,6 +170,7 @@ class BaseBackend:
         *,
         rng: Optional[np.random.Generator] = None,
         classical: Optional[Dict[str, Any]] = None,
+        sanitize: Optional[str] = None,
     ) -> Any:
         """Run a compiled, fully bound plan — the one evolution loop.
 
@@ -187,6 +191,16 @@ class BaseBackend:
         * density mode runs the deterministic branch bookkeeping of
           :func:`~repro.plan.execute_dynamic_density`; the exact clbit
           distribution lands in ``classical["distribution"]``.
+
+        ``sanitize`` enables the runtime numerical watchdog
+        (:class:`repro.analysis.sanitize.Sanitizer`): ``None`` defers to
+        the ``REPRO_SANITIZE`` environment variable, ``"off"`` (the
+        resolved default) adds zero cost — the analysis layer is only
+        imported once a non-off mode is requested.  Static plans are
+        checked after every op; dynamic plans (whose intermediate states
+        live inside the branch/trajectory bookkeeping) get final-state
+        checks.  Findings land in ``classical["sanitizer"]`` when a
+        dict is passed.
         """
         from repro.plan import (
             ExecutionPlan,
@@ -209,12 +223,29 @@ class BaseBackend:
                 f"{[p.name for p in plan.parameters]}; bind the plan "
                 "(ExecutionPlan.bind) before executing it"
             )
+        sanitize_mode = resolve_sanitize_mode(sanitize)
+        sanitizer = None
+        if sanitize_mode != "off":
+            # Lazy by design: the resolved "off" default never imports
+            # the analysis layer (the validate="off" pattern).
+            from repro.analysis.sanitize import Sanitizer
+
+            sanitizer = Sanitizer(plan, sanitize_mode)
         tensor = self._initial_tensor(plan.num_qubits, initial_state)
         if tensor.dtype != plan.dtype:
             tensor = tensor.astype(plan.dtype)
         if not plan.has_dynamic_ops:
-            for op in plan.ops:
-                tensor = op.apply(tensor)
+            if sanitizer is None:
+                for op in plan.ops:
+                    tensor = op.apply(tensor)
+            else:
+                for site, op in enumerate(plan.ops):
+                    tensor = op.apply(tensor)
+                    sanitizer.after_op(tensor, site, op)
+            if sanitizer is not None:
+                findings = sanitizer.finish(tensor)
+                if classical is not None:
+                    classical["sanitizer"] = findings
             return self._finalize(tensor, plan.num_qubits)
         if plan.mode == "density":
             tensor, distribution = execute_dynamic_density(plan, tensor)
@@ -226,6 +257,10 @@ class BaseBackend:
             tensor, bits = execute_dynamic_pure(plan, tensor, rng)
             if classical is not None:
                 classical["bits"] = "".join(map(str, bits))
+        if sanitizer is not None:
+            findings = sanitizer.finish(tensor)
+            if classical is not None:
+                classical["sanitizer"] = findings
         return self._finalize(tensor, plan.num_qubits)
 
     def _validate_noise(self, noise_model: Optional["NoiseModel"]) -> None:

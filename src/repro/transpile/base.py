@@ -10,10 +10,23 @@ circuit for every pass downstream.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.circuit import Circuit
 from repro.utils.exceptions import TranspilerError
+
+if TYPE_CHECKING:
+    from repro.analysis.certify import Certificate
 
 
 class Pass(abc.ABC):
@@ -41,9 +54,21 @@ class Pass(abc.ABC):
 
 
 class PassStats:
-    """Before/after snapshot of one pass application."""
+    """Before/after snapshot of one pass application.
 
-    __slots__ = ("pass_name", "gates_before", "gates_after", "depth_before", "depth_after")
+    When the run was certified, :attr:`certificate` carries the
+    :class:`~repro.analysis.Certificate` proving this pass's rewrite
+    equivalent (``None`` on uncertified runs).
+    """
+
+    __slots__ = (
+        "pass_name",
+        "gates_before",
+        "gates_after",
+        "depth_before",
+        "depth_after",
+        "certificate",
+    )
 
     def __init__(
         self,
@@ -52,20 +77,26 @@ class PassStats:
         gates_after: int,
         depth_before: int,
         depth_after: int,
+        certificate: Optional["Certificate"] = None,
     ) -> None:
         self.pass_name = pass_name
         self.gates_before = gates_before
         self.gates_after = gates_after
         self.depth_before = depth_before
         self.depth_after = depth_after
+        self.certificate = certificate
 
     def as_dict(self) -> dict:
+        certificate: Optional[dict] = None
+        if self.certificate is not None:
+            certificate = self.certificate.as_dict()
         return {
             "pass": self.pass_name,
             "gates_before": self.gates_before,
             "gates_after": self.gates_after,
             "depth_before": self.depth_before,
             "depth_after": self.depth_after,
+            "certificate": certificate,
         }
 
     def __repr__(self) -> str:
@@ -83,11 +114,20 @@ class PassManager:
     the most recent :meth:`run` are kept on :attr:`last_stats` so callers
     (e.g. the bench harness) can report per-pass gate/depth deltas without
     re-measuring.
+
+    With ``certify=True`` (set here or per :meth:`run`), every pass
+    application is proven semantically equivalent by
+    :func:`repro.analysis.certify_rewrite` before the pipeline moves on;
+    the per-pass :class:`~repro.analysis.Certificate` lands on
+    ``last_stats[i].certificate`` and an unprovable rewrite raises
+    :class:`~repro.utils.exceptions.CertificationError` at the failing
+    pass's own boundary.
     """
 
-    def __init__(self, passes: Iterable[Pass] = ()) -> None:
+    def __init__(self, passes: Iterable[Pass] = (), *, certify: bool = False) -> None:
         self._passes: List[Pass] = []
         self._last_stats: Tuple[PassStats, ...] = ()
+        self.certify = bool(certify)
         for p in passes:
             self.append(p)
 
@@ -118,12 +158,22 @@ class PassManager:
         self._passes.append(pass_)
         return self
 
-    def run(self, circuit: Circuit) -> Circuit:
-        """Run every pass in order and return the final circuit."""
+    def run(self, circuit: Circuit, certify: Optional[bool] = None) -> Circuit:
+        """Run every pass in order and return the final circuit.
+
+        ``certify`` overrides the manager's default for this run only;
+        ``None`` keeps :attr:`certify`.
+        """
         if not isinstance(circuit, Circuit):
             raise TranspilerError(
                 f"expected a Circuit, got {type(circuit).__name__}"
             )
+        do_certify = self.certify if certify is None else bool(certify)
+        if do_certify:
+            # Lazy upward import (whitelisted in tools/check_layers.py):
+            # certification is opt-in, so uncertified transpiles never
+            # touch the analysis layer.
+            from repro.analysis.certify import certify_rewrite
         stats: List[PassStats] = []
         current = circuit
         for pass_ in self._passes:
@@ -139,9 +189,19 @@ class PassManager:
                     f"pass {pass_.name} changed register width "
                     f"{current.num_qubits} -> {result.num_qubits}"
                 )
+            certificate = None
+            if do_certify:
+                certificate = certify_rewrite(
+                    current, result, pass_.name
+                ).raise_if_failed()
             stats.append(
                 PassStats(
-                    pass_.name, gates_before, len(result), depth_before, result.depth()
+                    pass_.name,
+                    gates_before,
+                    len(result),
+                    depth_before,
+                    result.depth(),
+                    certificate,
                 )
             )
             current = result
@@ -179,8 +239,9 @@ def transpile(
     passes: Union[None, PassManager, Sequence[Pass]] = None,
     max_fused_width: int = 2,
     pass_manager_out: Optional[List[PassManager]] = None,
-    lower: Optional[Callable[[Circuit], Circuit]] = None,
-) -> Circuit:
+    lower: Optional[Callable[[Circuit], Any]] = None,
+    certify: bool = False,
+) -> Any:
     """Optimise ``circuit`` through a pass pipeline.
 
     Parameters
@@ -203,6 +264,11 @@ def transpile(
         function's result.  ``repro.plan.compile_plan`` routes its
         circuit-to-:class:`~repro.plan.ExecutionPlan` lowering through
         this hook so "transpile then lower" is a single pipeline stage.
+    certify:
+        Prove every pass application semantically equivalent (see
+        :meth:`PassManager.run`); per-pass certificates land on the
+        manager's ``last_stats`` and an unprovable rewrite raises
+        :class:`~repro.utils.exceptions.CertificationError`.
     """
     if isinstance(passes, PassManager):
         manager = passes
@@ -212,7 +278,7 @@ def transpile(
         manager = PassManager(passes)
     if pass_manager_out is not None:
         pass_manager_out.append(manager)
-    result = manager.run(circuit)
+    result = manager.run(circuit, certify=certify or None)
     if lower is not None:
         return lower(result)
     return result

@@ -2,6 +2,7 @@
 
 from repro.utils.exceptions import (
     AnalysisError,
+    CertificationError,
     CircuitError,
     ExecutionError,
     ExecutionQueueFullError,
@@ -9,6 +10,7 @@ from repro.utils.exceptions import (
     NoiseModelError,
     ParallelExecutionError,
     ReproError,
+    SanitizerError,
     SimulationError,
     TranspilerError,
 )
@@ -25,6 +27,8 @@ from repro.utils.bitstrings import (
 __all__ = [
     "ReproError",
     "AnalysisError",
+    "CertificationError",
+    "SanitizerError",
     "CircuitError",
     "TranspilerError",
     "SimulationError",

@@ -40,6 +40,32 @@ class AnalysisError(ReproError):
         self.diagnostics = tuple(diagnostics)
 
 
+class CertificationError(AnalysisError):
+    """Raised when ``transpile(certify=True)`` cannot prove a pass correct.
+
+    Carries the failing pass's :class:`~repro.analysis.Certificate` on
+    :attr:`certificate` (``None`` when the failure predates certificate
+    construction) and the error diagnostics on ``diagnostics``, so
+    callers can report exactly which rewrite site broke equivalence.
+    """
+
+    def __init__(
+        self, message: str, diagnostics: tuple = (), certificate: object = None
+    ) -> None:
+        super().__init__(message, diagnostics)
+        self.certificate = certificate
+
+
+class SanitizerError(AnalysisError):
+    """Raised by the runtime sanitizer under ``sanitize="strict"``.
+
+    Fired from inside the shared ``execute_plan`` loop the moment a
+    numerical invariant breaks — NaN/Inf amplitudes, norm/trace drift,
+    dtype promotion, or a final probability distribution that does not
+    sum to one.  The triggering diagnostics ride on ``diagnostics``.
+    """
+
+
 class ExecutionError(ReproError):
     """Raised by the execution/observables layer for invalid requests.
 

@@ -54,7 +54,7 @@ class TestRepositoryIsClean:
         assert lint.check() == []
 
     def test_main_returns_zero(self, lint, capsys):
-        assert lint.main() == 0
+        assert lint.main([]) == 0
         assert "clean" in capsys.readouterr().out
 
 
@@ -123,5 +123,48 @@ class TestViolationsAreCaught:
         self, lint, monkeypatch, tmp_path, capsys
     ):
         self._run_on(lint, monkeypatch, tmp_path, "from repro.sim import run\n")
-        assert lint.main() == 1
+        assert lint.main([]) == 1
         assert "violation" in capsys.readouterr().err
+
+
+class TestDotExport:
+    def test_dot_output_is_wellformed(self, lint):
+        source = lint.dot()
+        assert source.startswith("digraph repro_layers {")
+        assert source.rstrip().endswith("}")
+        # Every ranked layer appears as a node.
+        for layer, rank in lint.RANKS:
+            assert f'"{layer}"' in source
+            assert f"rank {rank}" in source
+
+    def test_observed_edges_include_known_structure(self, lint):
+        edges = lint.collect_edges()
+        pairs = {(importer, target) for importer, target, _ in edges}
+        # Structural facts of the codebase the graph must show:
+        assert ("repro.circuit", "repro.utils") in pairs
+        assert ("repro.transpile", "repro.analysis") in pairs  # certify hook
+        assert ("repro.sim", "repro.analysis") in pairs  # sanitizer hook
+
+    def test_whitelisted_lazy_edges_are_marked(self, lint):
+        source = lint.dot()
+        assert (
+            '"repro.transpile" -> "repro.analysis" '
+            "[style=dashed, color=blue" in source
+        )
+
+    def test_module_level_edge_subsumes_lazy(self, lint):
+        edges = lint.collect_edges()
+        seen = {}
+        for importer, target, lazy in edges:
+            assert seen.setdefault((importer, target), lazy) == lazy
+        # No pair may appear both lazy and eager.
+        assert len(seen) == len(edges)
+
+    def test_main_dot_prints_graph_and_exits_zero(self, lint, capsys):
+        assert lint.main(["--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_unknown_flag_is_a_usage_error(self, lint, capsys):
+        assert lint.main(["--nope"]) == 2
+        assert "usage" in capsys.readouterr().err

@@ -1,0 +1,59 @@
+"""One lookup contract across all three registries.
+
+The gate, backend, and analysis-rule registries grew at different times;
+this parity suite pins the shared contract so they cannot drift apart:
+case-insensitive lookup (lower-cased keys on register *and* lookup), an
+``unknown ... ; available: ...`` error message enumerating what exists,
+and a sorted ``available_*()`` listing.
+"""
+
+import pytest
+
+from repro.analysis import available_rules, get_rule
+from repro.gates import available_gates, get_gate
+from repro.sim import available_backends, get_backend
+from repro.utils import AnalysisError, CircuitError, SimulationError
+
+_REGISTRIES = {
+    "gates": (get_gate, available_gates, "h", CircuitError, "unknown gate"),
+    "backends": (
+        get_backend,
+        available_backends,
+        "statevector",
+        SimulationError,
+        "unknown backend",
+    ),
+    "rules": (
+        get_rule,
+        available_rules,
+        "unused-qubit",
+        AnalysisError,
+        "unknown analysis rule",
+    ),
+}
+
+
+@pytest.mark.parametrize("registry", sorted(_REGISTRIES))
+class TestRegistryContract:
+    def test_lookup_is_case_insensitive(self, registry):
+        get, _, sample, _, _ = _REGISTRIES[registry]
+        assert get(sample.upper()) is get(sample)
+        assert get(sample.title()) is get(sample)
+
+    def test_available_listing_is_sorted_and_lowercase(self, registry):
+        _, available, sample, _, _ = _REGISTRIES[registry]
+        names = available()
+        assert isinstance(names, tuple)
+        assert list(names) == sorted(names)
+        assert all(name == name.lower() for name in names)
+        assert sample in names
+
+    def test_unknown_name_error_enumerates_available(self, registry):
+        get, available, _, error, prefix = _REGISTRIES[registry]
+        with pytest.raises(error, match="available:") as excinfo:
+            get("no-such-entry")
+        message = str(excinfo.value)
+        assert prefix in message
+        assert "'no-such-entry'" in message
+        for name in available():
+            assert name in message

@@ -34,14 +34,21 @@ def _codes(circuit, **kwargs):
 
 
 class TestRegistry:
-    def test_builtins_registered_in_order(self):
-        assert available_rules() == _BUILTINS
+    def test_builtins_registered_sorted(self):
+        assert available_rules() == tuple(sorted(_BUILTINS))
 
     def test_get_rule_round_trip(self):
         assert get_rule("unused-qubit").code == "unused-qubit"
 
+    def test_get_rule_is_case_insensitive(self):
+        assert get_rule("Unused-Qubit") is get_rule("unused-qubit")
+
     def test_unknown_rule_lists_registered_codes(self):
         with pytest.raises(AnalysisError, match="unused-qubit"):
+            get_rule("no-such-rule")
+
+    def test_unknown_rule_message_matches_registry_contract(self):
+        with pytest.raises(AnalysisError, match="available:"):
             get_rule("no-such-rule")
 
     def test_duplicate_registration_rejected(self):
@@ -232,6 +239,90 @@ class TestResourceRule:
 
     def test_small_circuit_is_clean_by_default(self):
         assert not analyze(Circuit(4).h(0), rules=("resource-limit",))
+
+
+class TestContextFiltering:
+    """Ruff-style select / ignore / per-code severity on AnalysisContext."""
+
+    def _noisy_circuit(self):
+        # unused-qubit warnings + a measure-overwrite warning.
+        return Circuit(3).h(0).measure(0, 0).measure(1, 0)
+
+    def test_select_keeps_only_listed_codes(self):
+        report = analyze(
+            self._noisy_circuit(),
+            context=AnalysisContext(select=("unused-qubit",)),
+        )
+        assert set(report.codes()) == {"unused-qubit"}
+
+    def test_ignore_drops_listed_codes(self):
+        report = analyze(
+            self._noisy_circuit(),
+            context=AnalysisContext(ignore=("unused-qubit",)),
+        )
+        assert "unused-qubit" not in report.codes()
+        assert "measure-overwrite" in report.codes()
+
+    def test_ignore_applies_after_select(self):
+        context = AnalysisContext(
+            select=("unused-qubit",), ignore=("unused-qubit",)
+        )
+        assert not analyze(self._noisy_circuit(), context=context)
+
+    def test_select_accepts_a_bare_string(self):
+        context = AnalysisContext(select="unused-qubit")
+        report = analyze(self._noisy_circuit(), context=context)
+        assert set(report.codes()) == {"unused-qubit"}
+
+    def test_codes_are_case_insensitive(self):
+        context = AnalysisContext(select=("Unused-Qubit",))
+        report = analyze(self._noisy_circuit(), context=context)
+        assert set(report.codes()) == {"unused-qubit"}
+
+    def test_severity_override_promotes_to_error(self):
+        context = AnalysisContext(
+            severity_overrides={"unused-qubit": "error"}
+        )
+        report = analyze(self._noisy_circuit(), context=context)
+        assert report.has_errors
+        assert all(
+            d.severity == "error"
+            for d in report
+            if d.code == "unused-qubit"
+        )
+
+    def test_severity_override_demotes_to_info(self):
+        context = AnalysisContext(
+            severity_overrides={"unused-qubit": "info"}
+        )
+        report = analyze(Circuit(2).h(0), context=context)
+        assert not report.warnings
+        assert report.infos
+
+    def test_invalid_severity_level_rejected(self):
+        with pytest.raises(AnalysisError, match="severity"):
+            AnalysisContext(severity_overrides={"unused-qubit": "fatal"})
+
+    def test_invalid_code_entry_rejected(self):
+        with pytest.raises(AnalysisError):
+            AnalysisContext(select=(42,))
+
+    def test_context_stays_hashable(self):
+        context = AnalysisContext(
+            select=("a",), ignore=("b",), severity_overrides={"c": "error"}
+        )
+        assert hash(context) == hash(context)
+        assert context == AnalysisContext(
+            select=("a",), ignore=("b",), severity_overrides={"c": "error"}
+        )
+
+    def test_apply_is_idempotent(self):
+        context = AnalysisContext(
+            select=("unused-qubit",),
+            severity_overrides={"unused-qubit": "error"},
+        )
+        report = analyze(self._noisy_circuit(), context=context)
+        assert context.apply(tuple(report)) == tuple(report)
 
 
 class TestAnalyzeDriver:

@@ -1,0 +1,213 @@
+"""Runtime numerical sanitizer: modes, detection, and zero-cost-off wiring."""
+
+import numpy as np
+import pytest
+
+from repro import Circuit, RunOptions, execute
+from repro.analysis import Sanitizer, SanitizerWarning, sanitize_batch
+from repro.circuit import Gate
+from repro.execution.options import (
+    SANITIZE_ENV_VAR,
+    resolve_sanitize_mode,
+)
+from repro.plan import compile_plan
+from repro.sim import get_backend, run
+from repro.utils import ExecutionError, SanitizerError
+
+#: A deliberately non-unitary "gate": norm grows 1.2x per application.
+_LEAKY = Gate("leaky", 1, np.eye(2) * 1.2)
+
+
+def _plan(circuit, backend="statevector"):
+    return compile_plan(circuit, get_backend(backend))
+
+
+class TestModeResolution:
+    def test_explicit_mode_wins(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV_VAR, "strict")
+        assert resolve_sanitize_mode("warn") == "warn"
+
+    def test_none_defers_to_env(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV_VAR, "warn")
+        assert resolve_sanitize_mode(None) == "warn"
+        monkeypatch.delenv(SANITIZE_ENV_VAR)
+        assert resolve_sanitize_mode(None) == "off"
+
+    def test_env_is_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV_VAR, "STRICT")
+        assert resolve_sanitize_mode(None) == "strict"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ExecutionError, match="sanitize mode"):
+            resolve_sanitize_mode("loud")
+
+    def test_run_options_validates_sanitize(self):
+        with pytest.raises(ExecutionError, match="sanitize"):
+            RunOptions(sanitize="loud")
+        assert RunOptions(sanitize=None).sanitize is None
+        assert RunOptions(sanitize="strict").sanitize == "strict"
+
+    def test_sanitizer_rejects_off(self):
+        plan = _plan(Circuit(1).h(0))
+        with pytest.raises(SanitizerError, match="warn.*strict"):
+            Sanitizer(plan, "off")
+
+
+class TestHealthyCircuits:
+    def test_sanitized_run_is_bitwise_identical(self):
+        circuit = Circuit(3).h(0).cx(0, 1).cx(1, 2).rz(0.3, 2)
+        baseline = run(circuit)
+        sanitized = run(circuit, options=RunOptions(sanitize="strict"))
+        np.testing.assert_array_equal(baseline.data, sanitized.data)
+
+    def test_density_backend_sanitized(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        options = RunOptions(backend="density_matrix", sanitize="strict")
+        baseline = run(circuit, backend="density_matrix")
+        sanitized = run(circuit, options=options)
+        np.testing.assert_array_equal(baseline.data, sanitized.data)
+
+    def test_warn_mode_is_silent_on_healthy_runs(self, recwarn):
+        run(Circuit(2).h(0).cx(0, 1), options=RunOptions(sanitize="warn"))
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, SanitizerWarning)
+        ]
+
+    def test_execute_with_sanitize_and_shots(self):
+        result = execute(
+            Circuit(2).h(0).cx(0, 1), shots=128, seed=7, sanitize="strict"
+        )
+        baseline = execute(Circuit(2).h(0).cx(0, 1), shots=128, seed=7)
+        assert result.counts == baseline.counts
+
+    def test_env_var_flips_the_default(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV_VAR, "strict")
+        state = run(Circuit(2).h(0).cx(0, 1))
+        assert state.data is not None
+
+
+class TestViolationDetection:
+    def test_norm_drift_strict_raises_at_the_op(self):
+        circuit = Circuit(1).h(0)
+        circuit.append(_LEAKY, (0,))
+        plan = _plan(circuit)
+        backend = get_backend("statevector")
+        with pytest.raises(SanitizerError, match="sanitize-norm-drift"):
+            backend.execute_plan(plan, sanitize="strict")
+
+    def test_norm_drift_warn_collects_and_warns(self):
+        circuit = Circuit(1).h(0)
+        circuit.append(_LEAKY, (0,))
+        plan = _plan(circuit)
+        backend = get_backend("statevector")
+        classical = {}
+        with pytest.warns(SanitizerWarning, match="sanitize-norm-drift"):
+            backend.execute_plan(plan, classical=classical, sanitize="warn")
+        codes = [d.code for d in classical["sanitizer"]]
+        assert "sanitize-norm-drift" in codes
+        site_hits = [d for d in classical["sanitizer"] if d.site is not None]
+        assert site_hits, "violation must be pinned to the offending op"
+
+    def test_off_mode_lets_the_leak_through(self):
+        # The mutation control: without the sanitizer the broken op
+        # evolves silently to an unnormalised state.
+        circuit = Circuit(1).h(0)
+        circuit.append(_LEAKY, (0,))
+        state = run(circuit)
+        assert abs(np.vdot(state.data, state.data) - 1.0) > 0.1
+
+    def test_non_finite_detection(self):
+        plan = _plan(Circuit(1).h(0))
+        sanitizer = Sanitizer(plan, "warn")
+        bad = np.full(2, np.nan, dtype=plan.dtype)
+        sanitizer.after_op(bad, 0, object())
+        assert [d.code for d in sanitizer.diagnostics] == [
+            "sanitize-non-finite"
+        ]
+
+    def test_dtype_promotion_detection(self):
+        plan = _plan(Circuit(1).h(0))
+        sanitizer = Sanitizer(plan, "warn")
+        promoted = np.zeros(
+            2,
+            dtype=np.complex64
+            if plan.dtype == np.complex128
+            else np.complex128,
+        )
+        sanitizer.after_op(promoted, 0, object())
+        assert [d.code for d in sanitizer.diagnostics] == [
+            "sanitize-dtype-promotion"
+        ]
+
+    def test_probability_sum_detection(self):
+        plan = _plan(Circuit(1).h(0))
+        sanitizer = Sanitizer(plan, "warn")
+        # Normalised in 2-norm but carrying a tiny imaginary trace bleed
+        # is impossible for pure states, so force the finish-time check
+        # via a direct probability probe: zero state sums to 0 != 1.
+        zero = np.zeros(2, dtype=plan.dtype)
+        with pytest.warns(SanitizerWarning):
+            findings = sanitizer.finish(zero)
+        codes = {d.code for d in findings}
+        assert "sanitize-norm-drift" in codes
+
+    def test_strict_raises_on_first_finding(self):
+        plan = _plan(Circuit(1).h(0))
+        sanitizer = Sanitizer(plan, "strict")
+        with pytest.raises(SanitizerError) as excinfo:
+            sanitizer.after_op(np.full(2, np.inf, dtype=plan.dtype), 3, None)
+        assert excinfo.value.diagnostics[0].code == "sanitize-non-finite"
+        assert excinfo.value.diagnostics[0].site == 3
+
+
+class TestDynamicAndBatchedPaths:
+    def test_dynamic_circuit_sanitized(self):
+        circuit = Circuit(2, num_clbits=1).h(0).measure(0, 0).reset(0)
+        result = execute(circuit, seed=11, sanitize="strict")
+        baseline = execute(circuit, seed=11)
+        np.testing.assert_array_equal(
+            result.state.data, baseline.state.data
+        )
+
+    def test_batched_sweep_sanitized(self):
+        from repro.circuit import Parameter
+
+        theta = Parameter("theta")
+        template = Circuit(2).h(0)
+        template.rz(theta, 0)
+        template.cx(0, 1)
+        sweep = [{"theta": v} for v in (0.1, 0.2, 0.3)]
+        sanitized = execute(
+            template,
+            parameter_sweep=sweep,
+            sweep_mode="batched",
+            sanitize="strict",
+        )
+        baseline = execute(
+            template, parameter_sweep=sweep, sweep_mode="batched"
+        )
+        for lhs, rhs in zip(sanitized.results, baseline.results):
+            np.testing.assert_array_equal(lhs.state.data, rhs.state.data)
+
+    def test_sanitize_batch_flags_broken_elements(self):
+        plan = _plan(Circuit(1).h(0))
+        batch = np.stack(
+            [
+                np.array([1.0, 0.0], dtype=plan.dtype),
+                np.array([7.0, 0.0], dtype=plan.dtype),  # unnormalised
+            ]
+        )
+        with pytest.warns(SanitizerWarning):
+            findings = sanitize_batch(plan, batch, "warn")
+        assert findings
+        assert all(d.code.startswith("sanitize-") for d in findings)
+        assert any("element 1" in d.message for d in findings)
+
+    def test_sanitize_batch_clean_batch_is_quiet(self, recwarn):
+        plan = _plan(Circuit(1).h(0))
+        amp = 1.0 / np.sqrt(2.0)
+        batch = np.array([[amp, amp]], dtype=plan.dtype)
+        assert sanitize_batch(plan, batch, "warn") == ()
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, SanitizerWarning)
+        ]

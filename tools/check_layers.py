@@ -21,6 +21,11 @@ Rules
   top: they may import anything.
 - ``typing.TYPE_CHECKING`` blocks are treated as lazy (annotation-only).
 
+``--dot`` additionally emits the *observed* layer graph as Graphviz
+source on stdout (solid edges = module-level imports, dashed = lazy;
+whitelisted upward lazy edges in blue) — CI archives the rendering so
+the diagram in the package docstring can be eyeballed against reality.
+
 Exit status is non-zero when any violation is found; CI runs this as a
 blocking step.
 """
@@ -65,10 +70,14 @@ TOP_RANK = 99
 #   through the backend registry at call time.
 # - repro.execution -> repro.service: execute(..., workers=N) hands off to
 #   the worker pool at call time.
+# - repro.transpile -> repro.analysis: PassManager.run(certify=True) proves
+#   each rewrite through the certifier at call time; uncertified runs never
+#   import it.
 LAZY_WHITELIST = {
     ("repro.circuit", "repro.gates"),
     ("repro.plan", "repro.sim"),
     ("repro.execution", "repro.service"),
+    ("repro.transpile", "repro.analysis"),
 }
 
 
@@ -194,13 +203,75 @@ def check() -> List[str]:
     return violations
 
 
-def main() -> int:
+def collect_edges() -> List[Tuple[str, str, bool]]:
+    """Observed (importer layer, imported layer, lazy?) edges, deduped.
+
+    Intra-layer imports and facade/CLI importers are omitted — the graph
+    shows the cross-layer structure the docstring diagram promises.
+    """
+    edges = set()
+    for path in iter_modules():
+        module = module_name(path)
+        importer = layer_of(module)
+        if importer is None or importer[1] == TOP_RANK:
+            continue
+        collector = _ImportCollector(module)
+        collector.visit(ast.parse(path.read_text(), filename=str(path)))
+        for imported, _, lazy in collector.imports:
+            target = layer_of(imported)
+            if target is None or target[1] == TOP_RANK:
+                continue
+            if target[0] == importer[0]:
+                continue
+            # A module-level edge subsumes a lazy one between the same
+            # pair; keep the strongest form only.
+            if not lazy:
+                edges.discard((importer[0], target[0], True))
+            if (importer[0], target[0], False) not in edges:
+                edges.add((importer[0], target[0], lazy))
+    return sorted(edges)
+
+
+def dot() -> str:
+    """The observed layer graph as Graphviz source."""
+    lines = [
+        "digraph repro_layers {",
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="monospace", fontsize=10];',
+        '  edge [fontname="monospace", fontsize=9];',
+    ]
+    for layer, rank in RANKS:
+        lines.append(f'  "{layer}" [label="{layer}\\nrank {rank}"];')
+    for importer, target, lazy in collect_edges():
+        attrs = []
+        if lazy:
+            attrs.append("style=dashed")
+        if (importer, target) in LAZY_WHITELIST:
+            attrs.append("color=blue")
+            attrs.append('label="lazy"')
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f'  "{importer}" -> "{target}"{suffix};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    emit_dot = "--dot" in args
+    if emit_dot:
+        args.remove("--dot")
+    if args:
+        print(f"usage: check_layers.py [--dot] (got {args})", file=sys.stderr)
+        return 2
     violations = check()
     if violations:
         print(f"layering lint: {len(violations)} violation(s)", file=sys.stderr)
         for violation in violations:
             print(f"  {violation}", file=sys.stderr)
         return 1
+    if emit_dot:
+        sys.stdout.write(dot())
+        return 0
     count = sum(1 for _ in iter_modules())
     print(f"layering lint: {count} modules clean")
     return 0
