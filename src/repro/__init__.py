@@ -18,8 +18,9 @@ Layering (each layer depends only on the ones above it)::
                        the runtime numerical sanitizer — wired into
                        execute() via RunOptions(validate=/certify=/sanitize=)
     repro.sim          backend registry: statevector + density-matrix +
-                       Monte-Carlo trajectory engines executing plans
-                       through one shared (sanitizer-instrumentable) loop
+                       Monte-Carlo trajectory + Pauli-transfer-matrix
+                       engines executing plans through one shared
+                       (sanitizer-instrumentable) loop
     repro.sampling     shot sampling -> Counts (any backend, readout noise)
     repro.observables  Pauli / PauliSum observables, (batched) expectations
     repro.execution    execute() front door: RunOptions, Job, Result/BatchResult
@@ -87,6 +88,8 @@ from repro.sim import (
     BaseBackend,
     DensityMatrix,
     DensityMatrixBackend,
+    PauliVector,
+    PTMBackend,
     Statevector,
     StatevectorBackend,
     TrajectoryBackend,
@@ -176,6 +179,8 @@ __all__ = [
     "BaseBackend",
     "DensityMatrix",
     "DensityMatrixBackend",
+    "PTMBackend",
+    "PauliVector",
     "Statevector",
     "StatevectorBackend",
     "TrajectoryBackend",

@@ -15,6 +15,7 @@ Diagnostic codes
 - ``plan-mode-mismatch``  — op type foreign to the plan's lowering mode
 - ``plan-target-range``   — target qubit out of range / duplicated
 - ``plan-shape-mismatch`` — tensor not ``(2,) * 2k`` for a ``k``-qubit op
+  (``(4,) * 2k`` real for the Pauli-transfer ops of ``"ptm"`` plans)
 - ``plan-axis-range``     — contraction/batch axes inconsistent with rank
 - ``plan-dtype-mismatch`` — op tensor dtype differs from the plan dtype
 - ``plan-clbit-range``    — clbit index outside ``[0, num_clbits)`` or a
@@ -35,6 +36,7 @@ import numpy as np
 from repro.analysis.diagnostics import ERROR, AnalysisReport, Diagnostic
 from repro.plan.plan import (
     DENSITY,
+    PTM,
     STATEVECTOR,
     TRAJECTORY,
     ConditionalOp,
@@ -43,6 +45,7 @@ from repro.plan.plan import (
     ExecutionPlan,
     MeasureOp,
     ParametricSlotOp,
+    PTMOp,
     ResetOp,
     TrajectoryKrausOp,
     UnitaryOp,
@@ -72,6 +75,9 @@ _MODE_OPS = {
         ResetOp,
         ConditionalOp,
     ),
+    # PTM lowering rejects dynamic circuits outright, so only the fused
+    # Pauli-transfer ops and parametric slots can appear.
+    PTM: (PTMOp, ParametricSlotOp),
 }
 
 
@@ -100,10 +106,19 @@ def _check_targets(
 
 
 def _check_tensor(
-    tensor: np.ndarray, k: int, dtype: np.dtype, label: str, site: int
+    tensor: np.ndarray,
+    k: int,
+    dtype: np.dtype,
+    label: str,
+    site: int,
+    base: int = 2,
 ) -> Iterator[Diagnostic]:
-    """A gate/Kraus tensor must be ``(2,) * 2k`` in the plan dtype."""
-    expected = (2,) * (2 * k)
+    """A gate/Kraus tensor must be ``(base,) * 2k`` in the plan dtype.
+
+    ``base`` is 2 for amplitude-space ops and 4 for the Pauli-transfer
+    ops of ``"ptm"`` plans (one axis per 4-valued Pauli digit).
+    """
+    expected = (base,) * (2 * k)
     shape = getattr(tensor, "shape", None)
     if shape != expected:
         yield _error(
@@ -157,6 +172,16 @@ def _check_unitary(
             f"targets shifted past the sweep axis",
             site,
         )
+
+
+def _check_ptm(
+    op: PTMOp, plan: ExecutionPlan, site: int
+) -> Iterator[Diagnostic]:
+    label = f"PTM {op.name!r}"
+    k = len(op.targets)
+    yield from _check_targets(op.targets, plan.num_qubits, label, site)
+    yield from _check_tensor(op.tensor, k, plan.dtype, label, site, base=4)
+    yield from _check_contraction_axes(op, k, label, site)
 
 
 def _check_density_unitary(
@@ -331,6 +356,8 @@ def _verify_ops(plan: ExecutionPlan) -> Iterator[Diagnostic]:
             continue
         if isinstance(op, UnitaryOp):
             yield from _check_unitary(op, plan, site)
+        elif isinstance(op, PTMOp):
+            yield from _check_ptm(op, plan, site)
         elif isinstance(op, DensityUnitaryOp):
             yield from _check_density_unitary(op, plan, site)
         elif isinstance(op, DensityKrausOp):

@@ -39,6 +39,7 @@ from repro.analysis.diagnostics import (
     _SEVERITY_RANK,
 )
 from repro.circuit import Circuit
+from repro.circuit.ptm import ptm_is_trace_preserving
 from repro.utils.exceptions import AnalysisError
 
 _GIB = 1024**3
@@ -408,6 +409,20 @@ class ChannelRule:
                     f"(sum K†K != I): probability leaks every application",
                     site=index,
                 )
+                continue
+            # Same physics, second representation: the precomputed Pauli
+            # transfer matrix must carry the trace row (1, 0, ..., 0) —
+            # a corrupted/stale PTM cache would silently leak probability
+            # in ptm-mode plans even when the Kraus set is intact.
+            if not ptm_is_trace_preserving(channel.ptm):
+                yield Diagnostic(
+                    ERROR,
+                    self.code,
+                    f"channel {channel.name!r} is not trace preserving in "
+                    f"the Pauli basis: the first PTM row deviates from "
+                    f"(1, 0, ..., 0)",
+                    site=index,
+                )
 
 
 class FusionBarrierRule:
@@ -465,13 +480,20 @@ class ResourceRule:
         self, circuit: Circuit, context: AnalysisContext
     ) -> Iterator[Diagnostic]:
         n = circuit.num_qubits
-        density = context.mode == "density"
-        amplitudes = 4**n if density else 2**n
+        # Density matrices and Pauli vectors both hold 4**n elements; the
+        # ptm representation just stores them as reals instead of complex.
+        mixed = context.mode in ("density", "ptm")
+        amplitudes = 4**n if mixed else 2**n
         estimate = amplitudes * context.itemsize
         if estimate <= context.warn_memory_bytes:
             return
-        kind = "density matrix" if density else "statevector"
-        scaling = "4**n" if density else "2**n"
+        if context.mode == "ptm":
+            kind = "Pauli vector"
+        elif mixed:
+            kind = "density matrix"
+        else:
+            kind = "statevector"
+        scaling = "4**n" if mixed else "2**n"
         message = (
             f"{kind} for {n} qubits needs ~{estimate / _GIB:.1f} GiB "
             f"({scaling} amplitudes x {context.itemsize} bytes)"

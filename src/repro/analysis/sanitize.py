@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Any, List, Optional, Tuple
 import numpy as np
 
 from repro.analysis.diagnostics import ERROR, Diagnostic
+from repro.circuit.ptm import pauli_vector_probabilities, pauli_vector_trace
 from repro.utils.exceptions import SanitizerError
 
 if TYPE_CHECKING:
@@ -55,7 +56,7 @@ class Sanitizer:
     finish-time checks only.
     """
 
-    __slots__ = ("_plan", "_mode", "_pure", "_tolerance", "diagnostics")
+    __slots__ = ("_plan", "_mode", "_kind", "_tolerance", "diagnostics")
 
     def __init__(self, plan: "ExecutionPlan", mode: str) -> None:
         if mode not in ("warn", "strict"):
@@ -64,7 +65,13 @@ class Sanitizer:
             )
         self._plan = plan
         self._mode = mode
-        self._pure = plan.mode != "density"
+        # How to read weight/probabilities off the state tensor: pure
+        # modes carry amplitudes, "density" a (2,)*2n matrix, "ptm" a
+        # real (4,)*n Pauli component vector.
+        if plan.mode in ("density", "ptm"):
+            self._kind = plan.mode
+        else:
+            self._kind = "pure"
         self._tolerance = _norm_tolerance(plan.dtype, len(plan.ops))
         self.diagnostics: List[Diagnostic] = []
 
@@ -83,8 +90,11 @@ class Sanitizer:
 
     def _weight(self, tensor: np.ndarray) -> float:
         """Total probability weight: <psi|psi> or tr(rho)."""
-        if self._pure:
+        if self._kind == "pure":
             return float(np.real(np.vdot(tensor, tensor)))
+        if self._kind == "ptm":
+            # tr(rho) lives entirely in the all-identity component.
+            return pauli_vector_trace(tensor)
         n = self._plan.num_qubits
         matrix = tensor.reshape(1 << n, 1 << n)
         return float(np.real(np.trace(matrix)))
@@ -108,7 +118,7 @@ class Sanitizer:
             return
         weight = self._weight(tensor)
         if abs(weight - 1.0) > self._tolerance:
-            kind = "norm <psi|psi>" if self._pure else "trace tr(rho)"
+            kind = "norm <psi|psi>" if self._kind == "pure" else "trace tr(rho)"
             self._report(
                 "sanitize-norm-drift",
                 f"{where}: {kind} = {weight:.12g} drifted from 1 by more "
@@ -138,8 +148,12 @@ class Sanitizer:
 
     def _check_probabilities(self, tensor: np.ndarray) -> None:
         """Readout distribution must be non-negative and sum to one."""
-        if self._pure:
+        if self._kind == "pure":
             probabilities = np.abs(tensor.reshape(-1)) ** 2
+        elif self._kind == "ptm":
+            # Born probabilities come off the I/Z Pauli components; the
+            # naive |r|**2 reading would flag every mixed state.
+            probabilities = pauli_vector_probabilities(tensor).reshape(-1)
         else:
             n = self._plan.num_qubits
             probabilities = np.real(

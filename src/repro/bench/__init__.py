@@ -4,15 +4,18 @@
 backend (statevector or density-matrix, noisy families included), records
 wall-times, gate counts and seeded counts/expectation-equivalence checks
 through the unified ``repro.execute`` front door, and returns a
-JSON-stable report (``schema_version`` 3).  ``python -m repro.bench
---json`` is the CLI entry point; ``--smoke`` selects the small
-configuration CI runs on every push, ``--sweep`` adds the batched
-parameter-sweep benchmark.
+JSON-stable report (``schema_version`` 7).  On noisy (density-matrix)
+rows the same fused circuit is also raced on the Pauli-transfer-matrix
+backend, recording ``ptm_speedup_vs_density`` alongside counts- and
+expectation-equivalence checks.  ``python -m repro.bench --json`` is the
+CLI entry point; ``--smoke`` selects the small configuration CI runs on
+every push, ``--sweep`` adds the batched parameter-sweep benchmark.
 """
 
 from repro.bench.harness import SCHEMA_VERSION, run_suite
 from repro.bench.workloads import (
     Workload,
+    brickwork_depolarized,
     default_workloads,
     ghz,
     ghz_depolarizing,
@@ -26,6 +29,7 @@ from repro.bench.workloads import (
 __all__ = [
     "SCHEMA_VERSION",
     "Workload",
+    "brickwork_depolarized",
     "default_workloads",
     "ghz",
     "ghz_depolarizing",

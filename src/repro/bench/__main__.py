@@ -1,6 +1,6 @@
 """CLI for the benchmark suite: ``python -m repro.bench [--json] [--smoke]``.
 
-Prints a human-readable table by default, the schema-6 JSON report with
+Prints a human-readable table by default, the schema-7 JSON report with
 ``--json``; ``--sweep`` adds the batched parameter-sweep benchmark run
 through ``repro.execute``, ``--parallel`` adds the parallel execution
 service legs (per-element sweep + sharded shots, serial vs.
@@ -16,6 +16,13 @@ standard errors of the exact density expectation — CI treats all of
 those as regressions.  Parallel *speedup* is only gated when the host
 reports at least two CPUs (a 1-CPU runner cannot be expected to go
 faster); the trajectory speedup column is reported but never gated.
+
+The density-matrix rows additionally race the Pauli-transfer-matrix
+backend on the same fused circuit.  PTM equivalence (counts and
+expectations vs. density) and the fewer-plan-ops invariant are gated
+unconditionally; the ``ptm_speedup_vs_density`` column is gated at
+``>= 1.0`` — if fusing noise into gates cannot beat Kraus evolution,
+that is a regression in the whole point of the backend.
 """
 
 from __future__ import annotations
@@ -32,19 +39,21 @@ from repro.utils.exceptions import SimulationError
 
 def _format_table(report: dict) -> str:
     header = (
-        f"{'workload':<20} {'n':>3} {'backend':>15} {'gates':>11} {'depth':>9} "
-        f"{'t_unfused':>10} {'t_fused':>10} {'speedup':>8} {'counts':>7}"
+        f"{'workload':<22} {'n':>3} {'backend':>15} {'gates':>11} {'depth':>9} "
+        f"{'t_unfused':>10} {'t_fused':>10} {'speedup':>8} {'ptm':>8} {'counts':>7}"
     )
     lines = [header, "-" * len(header)]
     for row in report["workloads"]:
         speedup = row["speedup"]
         speedup_cell = f"{speedup:>7.2f}x" if speedup is not None else f"{'n/a':>8}"
+        ptm = row["ptm_speedup_vs_density"]
+        ptm_cell = f"{ptm:>7.2f}x" if ptm is not None else f"{'-':>8}"
         lines.append(
-            f"{row['name']:<20} {row['num_qubits']:>3} {row['backend']:>15} "
+            f"{row['name']:<22} {row['num_qubits']:>3} {row['backend']:>15} "
             f"{row['gates_unfused']:>4}->{row['gates_fused']:<5} "
             f"{row['depth_unfused']:>3}->{row['depth_fused']:<4} "
             f"{row['run_time_unfused_s']:>10.2g} {row['run_time_fused_s']:>10.2g} "
-            f"{speedup_cell} {'ok' if row['counts_match'] else 'FAIL':>7}"
+            f"{speedup_cell} {ptm_cell} {'ok' if row['counts_match'] else 'FAIL':>7}"
         )
     return "\n".join(lines)
 
@@ -55,7 +64,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="Benchmark the simulation backends with and without gate fusion.",
     )
     parser.add_argument(
-        "--json", action="store_true", help="emit the schema-5 JSON report on stdout"
+        "--json", action="store_true", help="emit the schema-7 JSON report on stdout"
     )
     parser.add_argument(
         "--smoke",
@@ -202,6 +211,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             f"run() diverges from precompiled-plan execution: "
             f"{', '.join(diverged)}",
+            file=sys.stderr,
+        )
+        failed = True
+    # PTM gates run on every row that has PTM columns (density rows).
+    # Equivalence and the fewer-ops invariant are correctness contracts;
+    # the speedup floor is the backend's reason to exist.
+    ptm_rows = [
+        w for w in report["workloads"] if w["ptm_counts_match"] is not None
+    ]
+    ptm_mismatched = [
+        w["name"]
+        for w in ptm_rows
+        if not (w["ptm_counts_match"] and w["ptm_expectations_match"])
+    ]
+    if ptm_mismatched:
+        print(
+            f"ptm backend diverges from density evolution: "
+            f"{', '.join(ptm_mismatched)}",
+            file=sys.stderr,
+        )
+        failed = True
+    ptm_unfused = [w["name"] for w in ptm_rows if not w["ptm_fewer_ops"]]
+    if ptm_unfused:
+        print(
+            f"ptm plan is not smaller than the density plan (fusion through "
+            f"channels regressed): {', '.join(ptm_unfused)}",
+            file=sys.stderr,
+        )
+        failed = True
+    ptm_slow = [
+        (w["name"], w["ptm_speedup_vs_density"])
+        for w in ptm_rows
+        if w["ptm_speedup_vs_density"] is not None
+        and w["ptm_speedup_vs_density"] < 1.0
+    ]
+    if ptm_slow:
+        detail = ", ".join(f"{name} ({value:.2f}x)" for name, value in ptm_slow)
+        print(
+            f"ptm backend slower than density evolution: {detail}",
             file=sys.stderr,
         )
         failed = True

@@ -1,6 +1,6 @@
 """The bench driver: time each workload unfused vs. transpiled vs. planned.
 
-Report schema (``schema_version`` 6) — stable from this PR onward so CI
+Report schema (``schema_version`` 7) — stable from this PR onward so CI
 artifacts stay comparable across commits::
 
     {
@@ -32,9 +32,23 @@ artifacts stay comparable across commits::
           "counts_match": bool,        # seeded sampling equivalence
           "expectation_z0": float,     # <Z_0> on the unfused final state
           "expectations_match": bool,  # fused <Z_0> agrees to 1e-9
-          "eager_matches_plan": bool   # run() (compile+execute) and
+          "eager_matches_plan": bool,  # run() (compile+execute) and
                                        # precompiled-plan execution give
                                        # bitwise-identical states
+          # --- PTM columns: non-null only on density-matrix rows ------
+          "run_time_ptm_s": float | null,   # same fused circuit on the
+                                            # ptm backend, plan execution
+          "ptm_speedup_vs_density": float | null,  # fused density time /
+                                            # ptm time; null off-density
+                                            # or when ptm measured 0
+          "ptm_counts_match": bool | null,  # ptm counts == density
+                                            # counts under the same seed
+          "ptm_expectations_match": bool | null,  # ptm <Z_0> agrees with
+                                            # density to 1e-9
+          "plan_ops_density": int | null,   # fused-circuit density plan
+          "plan_ops_ptm": int | null,       # fused-circuit ptm plan
+          "ptm_fewer_ops": bool | null      # fusion through channels
+                                            # strictly shrank the plan
         }, ...
       ],
       "sweep": null | {                # present (non-null) with --sweep
@@ -99,7 +113,11 @@ compile cost leaked into the headline numbers; version 4 predates the
 parallel execution service — no ``parallel`` section and no
 ``parallel``/``workers`` config keys; version 5 predates the
 Monte-Carlo trajectory backend — no ``trajectory`` section and no
-``trajectory`` config key.
+``trajectory`` config key; version 6 predates the Pauli-transfer-matrix
+backend — no ``run_time_ptm_s`` / ``ptm_speedup_vs_density`` /
+``ptm_counts_match`` / ``ptm_expectations_match`` /
+``plan_ops_density`` / ``plan_ops_ptm`` / ``ptm_fewer_ops`` workload
+columns (and no ``brickwork_depolarized`` family).
 
 Counts and expectation values are produced through the unified
 :func:`repro.execute` front door, so the harness exercises exactly the
@@ -132,7 +150,7 @@ from repro.sim import get_backend
 from repro.transpile import Pass, transpile
 from repro.utils.exceptions import SimulationError
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 # Mixed-state cost is O(4**n) memory *per contraction temporary*: n = 12
 # is already ~270 MB a copy (minutes of bench wall-time), n = 16 would be
@@ -222,6 +240,48 @@ def _bench_workload(
     expectation_unfused = result_unfused.expectation_values[0]
     expectation_fused = result_fused.expectation_values[0]
 
+    # PTM columns: the same fused circuit on the Pauli-transfer engine,
+    # raced against the density backend (the other exact mixed-state
+    # engine).  Rows on any other backend carry nulls — a statevector
+    # baseline would compare different physics.
+    ptm_columns: Dict[str, object] = {
+        "run_time_ptm_s": None,
+        "ptm_speedup_vs_density": None,
+        "ptm_counts_match": None,
+        "ptm_expectations_match": None,
+        "plan_ops_density": None,
+        "plan_ops_ptm": None,
+        "ptm_fewer_ops": None,
+    }
+    if backend.name == "density_matrix":
+        ptm_backend = get_backend("ptm")
+        plan_ptm = compile_plan(fused, ptm_backend, run_options, use_cache=False)
+        run_ptm = _best_time(lambda: ptm_backend.execute_plan(plan_ptm), repeats)
+        result_ptm = execute(
+            fused,
+            RunOptions(
+                backend=ptm_backend,
+                shots=shots,
+                seed=seed,
+                noise_model=noise_model,
+                observables=(observable,),
+            ),
+        )
+        ptm_columns.update(
+            run_time_ptm_s=run_ptm,
+            ptm_speedup_vs_density=(
+                run_fused / run_ptm if run_ptm > 0 else None
+            ),
+            ptm_counts_match=result_ptm.counts == result_fused.counts,
+            ptm_expectations_match=abs(
+                result_ptm.expectation_values[0] - expectation_fused
+            )
+            <= _EXPECTATION_ATOL,
+            plan_ops_density=len(plan_fused.ops),
+            plan_ops_ptm=len(plan_ptm.ops),
+            ptm_fewer_ops=len(plan_ptm.ops) < len(plan_fused.ops),
+        )
+
     stats_unfused = circuit.stats()
     stats_fused = fused.stats()
     return {
@@ -245,6 +305,7 @@ def _bench_workload(
         "expectations_match": abs(expectation_unfused - expectation_fused)
         <= _EXPECTATION_ATOL,
         "eager_matches_plan": eager_matches_plan,
+        **ptm_columns,
     }
 
 
@@ -562,7 +623,7 @@ def run_suite(
     workers: int = 2,
     trajectory: bool = False,
 ) -> Dict[str, object]:
-    """Run the benchmark suite and return the schema-6 report dict.
+    """Run the benchmark suite and return the schema-7 report dict.
 
     Parameters
     ----------

@@ -1,6 +1,6 @@
 """Canonical benchmark circuits.
 
-Five families spanning the fusion and noise spectrum:
+Six families spanning the fusion and noise spectrum:
 
 * ``ghz`` — entangling CX chain, almost nothing for fusion to merge;
   the floor case.
@@ -14,6 +14,10 @@ Five families spanning the fusion and noise spectrum:
 * ``layered_damped`` — layered rotations with amplitude damping after
   each brickwork layer; mixed fusion + noise (channels are barriers, so
   the rotation runs between them still fuse).
+* ``brickwork_depolarized`` — deep rotation brickwork with a
+  depolarizing channel after *every* gate; the channel density makes
+  circuit-level gate fusion nearly useless (every run is a barrier) and
+  is exactly where the PTM backend's fusion *through* channels shines.
 
 Noisy families embed :class:`~repro.circuit.Channel` instructions in the
 circuit (rather than using a :class:`~repro.noise.NoiseModel`) so the
@@ -161,6 +165,35 @@ def layered_damped(
     return circuit
 
 
+def brickwork_depolarized(
+    num_qubits: int, layers: int = 4, p: float = 0.01, seed: int = 13
+) -> Circuit:
+    """Deep rotation brickwork with depolarizing noise after *every* gate.
+
+    Per layer: an rz·ry pair (each followed by a one-qubit depolarizing
+    channel) on every qubit, then CX brickwork with a channel on both
+    ends of each CX.  With a channel behind every gate there are no
+    channel-free gate runs left for circuit-level fusion to merge —
+    density-mode plans carry one Kraus op per channel, while PTM-mode
+    lowering folds whole gate+channel bricks into single real ops.
+    """
+    from repro.noise import depolarizing
+
+    channel = depolarizing(p)
+    rng = ensure_rng(seed)
+    circuit = Circuit(num_qubits, name=f"brickwork_depolarized_{num_qubits}")
+    for layer in range(layers):
+        for q in range(num_qubits):
+            a, b = rng.uniform(0.0, 6.283185307179586, size=2)
+            circuit.rz(a, q).channel(channel, (q,))
+            circuit.ry(b, q).channel(channel, (q,))
+        offset = layer % 2
+        for q in range(offset, num_qubits - 1, 2):
+            circuit.cx(q, q + 1)
+            circuit.channel(channel, (q,)).channel(channel, (q + 1,))
+    return circuit
+
+
 def parameterized_rotations(
     num_qubits: int, layers: int = 2
 ) -> Tuple[Circuit, List[Parameter]]:
@@ -212,11 +245,16 @@ def default_workloads(smoke: bool = False) -> List[Workload]:
     sizes: Tuple[int, ...] = (4, 6) if smoke else (8, 12, 16)
     noisy_sizes: Tuple[int, ...] = (4,) if smoke else (6, 8)
     layers = 2 if smoke else 4
+    # The channel-after-every-gate family is where fusion-through-noise
+    # pays off; run it deeper than the other noisy families so the win
+    # is measured where it matters.
+    brickwork_layers = 3 if smoke else 6
     gates_per_qubit = 6 if smoke else 12
     # One constant per noisy family, threaded through both the builder
     # call and the report label so they can never disagree.
     depolarizing_p = 0.02
     damping_gamma = 0.03
+    brickwork_p = 0.01
     workloads: List[Workload] = []
     for n in sizes:
         workloads.append(Workload("ghz", n, lambda n=n: ghz(n)))
@@ -251,6 +289,17 @@ def default_workloads(smoke: bool = False) -> List[Workload]:
                 lambda n=n: layered_damped(n, layers=layers, gamma=damping_gamma),
                 backend="density_matrix",
                 noise=f"amplitude_damping(gamma={damping_gamma:g})",
+            )
+        )
+        workloads.append(
+            Workload(
+                "brickwork_depolarized",
+                n,
+                lambda n=n: brickwork_depolarized(
+                    n, layers=brickwork_layers, p=brickwork_p
+                ),
+                backend="density_matrix",
+                noise=f"depolarizing(p={brickwork_p:g}) per gate",
             )
         )
     return workloads

@@ -19,6 +19,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.circuit.ptm import kraus_to_ptm, ptm_is_trace_preserving
 from repro.utils.exceptions import CircuitError, NoiseModelError
 
 _ATOL = 1e-8
@@ -48,7 +49,7 @@ class Channel:
         channels from already-validated pieces may pass ``False``.
     """
 
-    __slots__ = ("_name", "_num_qubits", "_kraus", "_params")
+    __slots__ = ("_name", "_num_qubits", "_kraus", "_params", "_ptm")
 
     def __init__(
         self,
@@ -84,11 +85,24 @@ class Channel:
         self._num_qubits = int(num_qubits)
         self._kraus = tuple(frozen)
         self._params = tuple(float(p) for p in params)
-        if validate and not self.is_trace_preserving(atol=atol):
-            raise NoiseModelError(
-                f"channel {name!r} is not trace-preserving: "
-                f"sum(K†K) deviates from the identity beyond atol={atol}"
-            )
+        # The Pauli transfer matrix is frozen alongside the Kraus set so
+        # every consumer (the ptm lowering mode, analysis rules, future
+        # density-backend reuse) shares one precomputed copy.
+        ptm = kraus_to_ptm(self._kraus, self._num_qubits)
+        ptm.setflags(write=False)
+        self._ptm = ptm
+        if validate:
+            if not self.is_trace_preserving(atol=atol):
+                raise NoiseModelError(
+                    f"channel {name!r} is not trace-preserving: "
+                    f"sum(K†K) deviates from the identity beyond atol={atol}"
+                )
+            if not ptm_is_trace_preserving(ptm, atol=atol):
+                raise NoiseModelError(
+                    f"channel {name!r} is not trace-preserving in the Pauli "
+                    f"basis: the first PTM row deviates from (1, 0, ..., 0) "
+                    f"beyond atol={atol}"
+                )
 
     def __setstate__(self, state: tuple) -> None:
         # Default __slots__ pickling restores attributes but loses the Kraus
@@ -109,6 +123,20 @@ class Channel:
                     f"{(dim, dim)} for {self._num_qubits} qubit(s)"
                 )
             operator.setflags(write=False)
+        try:
+            ptm = self._ptm
+        except AttributeError:
+            # Pickle from a version predating the PTM cache: leave the
+            # slot unset; the ``ptm`` property recomputes lazily.
+            pass
+        else:
+            if ptm.shape != (4**self._num_qubits,) * 2:
+                raise CircuitError(
+                    f"cached PTM has shape {ptm.shape}, expected "
+                    f"{(4 ** self._num_qubits,) * 2} for "
+                    f"{self._num_qubits} qubit(s)"
+                )
+            ptm.setflags(write=False)
 
     @property
     def name(self) -> str:
@@ -126,6 +154,23 @@ class Channel:
     @property
     def params(self) -> Tuple[float, ...]:
         return self._params
+
+    @property
+    def ptm(self) -> np.ndarray:
+        """The channel's Pauli transfer matrix, precomputed and read-only.
+
+        A real ``(4**k, 4**k)`` float64 matrix in the normalised Pauli
+        basis: ``R[a, b] = Tr(P_a E(P_b))``.  Frozen at construction;
+        channels unpickled from versions predating the cache recompute it
+        lazily on first access.
+        """
+        try:
+            return self._ptm
+        except AttributeError:
+            ptm = kraus_to_ptm(self._kraus, self._num_qubits)
+            ptm.setflags(write=False)
+            self._ptm = ptm
+            return self._ptm
 
     def is_trace_preserving(self, atol: float = _ATOL) -> bool:
         """Whether ``sum_i K_i† K_i == I`` within ``atol``."""

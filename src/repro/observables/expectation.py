@@ -1,13 +1,17 @@
 """Expectation values of Pauli observables on simulated states.
 
-Both state types are handled by the same contraction strategy the
-simulators use: each non-identity 2x2 Pauli factor is applied to the
-state's ``(2,) * n`` (or ``(2,) * 2n``) tensor with
+Statevectors and density matrices are handled by the same contraction
+strategy the simulators use: each non-identity 2x2 Pauli factor is
+applied to the state's ``(2,) * n`` (or ``(2,) * 2n``) tensor with
 :func:`~repro.sim.apply_gate_tensor`, and the scalar falls out of a
 ``vdot`` (pure states, ``<psi|P|psi>``) or a trace (mixed states,
 ``tr(rho P)``).  Cost is O(2**n) per factor for statevectors and
 O(4**n) for density matrices — a dense ``2**n x 2**n`` observable matrix
 is never built.
+
+:class:`~repro.sim.PauliVector` states are cheaper still: the state *is*
+its Pauli expansion, so ``<P>`` is a single component lookup scaled by
+``sqrt(2**n)`` — O(1) per Pauli string after the index is assembled.
 """
 
 from __future__ import annotations
@@ -19,11 +23,15 @@ import numpy as np
 from repro.observables.pauli import PAULI_MATRICES, Pauli, PauliSum
 from repro.sim.backend import apply_gate_tensor
 from repro.sim.density import DensityMatrix
+from repro.sim.ptm import PauliVector
 from repro.sim.statevector import Statevector
 from repro.utils.exceptions import ExecutionError
 
-State = Union[Statevector, DensityMatrix]
+State = Union[Statevector, DensityMatrix, PauliVector]
 Observable = Union[Pauli, PauliSum]
+
+# Pauli-basis digit of each non-identity factor (0 is the identity).
+_PAULI_DIGITS = {"X": 1, "Y": 2, "Z": 3}
 
 
 def _check_width(state: State, pauli: Pauli) -> None:
@@ -36,6 +44,14 @@ def _check_width(state: State, pauli: Pauli) -> None:
 
 def _pauli_expectation(state: State, pauli: Pauli) -> float:
     _check_width(state, pauli)
+    if isinstance(state, PauliVector):
+        # tr(rho P) = r[index] * sqrt(2**n): the state already stores its
+        # normalised-Pauli components, so the expectation is one lookup.
+        n = state.num_qubits
+        index = [0] * n
+        for qubit, factor in pauli.factors:
+            index[qubit] = _PAULI_DIGITS[factor]
+        return float(state.tensor()[tuple(index)] * 2.0 ** (n / 2.0))
     if isinstance(state, Statevector):
         applied = state.tensor()
         for qubit, factor in pauli.factors:
@@ -128,15 +144,16 @@ def expectation(state: State, observable: Observable) -> float:
     Parameters
     ----------
     state:
-        A :class:`~repro.sim.Statevector` (``<psi|O|psi>``) or
-        :class:`~repro.sim.DensityMatrix` (``tr(rho O)``).
+        A :class:`~repro.sim.Statevector` (``<psi|O|psi>``), a
+        :class:`~repro.sim.DensityMatrix` (``tr(rho O)``), or a
+        :class:`~repro.sim.PauliVector` (component lookup).
     observable:
         A :class:`Pauli` string or real-weighted :class:`PauliSum`.
     """
-    if not isinstance(state, (Statevector, DensityMatrix)):
+    if not isinstance(state, (Statevector, DensityMatrix, PauliVector)):
         raise ExecutionError(
             f"cannot take an expectation on {type(state).__name__}; "
-            "expected a Statevector or DensityMatrix"
+            "expected a Statevector, DensityMatrix, or PauliVector"
         )
     if isinstance(observable, Pauli):
         return _pauli_expectation(state, observable)

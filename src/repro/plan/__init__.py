@@ -21,6 +21,7 @@ from repro.plan.plan import (
     ExecutionPlan,
     MeasureOp,
     ParametricSlotOp,
+    PTMOp,
     ResetOp,
     TrajectoryKrausOp,
     UnitaryOp,
@@ -39,6 +40,7 @@ __all__ = [
     "DensityUnitaryOp",
     "ExecutionPlan",
     "MeasureOp",
+    "PTMOp",
     "ParametricSlotOp",
     "ResetOp",
     "TrajectoryKrausOp",

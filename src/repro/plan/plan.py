@@ -16,7 +16,7 @@ re-lowering* the static ops around them, so an N-point sweep costs one
 lowering plus N cheap slot substitutions (or a single batched contraction
 per op — see :mod:`repro.plan.batch`).
 
-Three lowering modes exist, selected by the target backend's ``plan_mode``:
+Four lowering modes exist, selected by the target backend's ``plan_mode``:
 
 * ``"statevector"`` — ops contract onto a ``(2,) * n`` pure-state tensor;
   channel instructions and gate-noise models are rejected at compile time.
@@ -28,6 +28,13 @@ Three lowering modes exist, selected by the target backend's ``plan_mode``:
   execution time one Kraus operator is *sampled* per application from the
   seeded RNG stream (Monte-Carlo wavefunction unraveling), keeping noisy
   evolution at O(2**n) per trajectory.
+* ``"ptm"`` — every gate *and* every channel becomes one real
+  ``(4**k, 4**k)`` Pauli-transfer matrix contracting onto the ``(4,) * n``
+  Pauli vector of rho (:class:`PTMOp`).  Because gates and noise now
+  compose by plain matrix multiplication, lowering fuses adjacent
+  gate+channel runs on overlapping qubits into single ops (up to
+  :data:`PTM_FUSE_WIDTH` qubits) — channels stop being fusion barriers.
+  Dynamic instructions are rejected in this mode.
 
 Dynamic instructions (measure/reset/if_bit) lower to
 :class:`MeasureOp`/:class:`ResetOp`/:class:`ConditionalOp` in every mode.
@@ -42,6 +49,7 @@ from __future__ import annotations
 
 import contextlib
 import time
+from collections import OrderedDict
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -58,6 +66,7 @@ from typing import (
 import numpy as np
 
 from repro.circuit import Circuit, Parameter
+from repro.circuit.ptm import embed_ptm, kraus_to_ptm
 from repro.utils.exceptions import SimulationError
 
 if TYPE_CHECKING:
@@ -73,6 +82,13 @@ Branches = List[Tuple[Tuple[int, ...], np.ndarray]]
 STATEVECTOR = "statevector"
 DENSITY = "density"
 TRAJECTORY = "trajectory"
+PTM = "ptm"
+
+#: Maximum register width (qubits) of a fused PTM op, matching the
+#: default width cap of :class:`~repro.transpile.FuseAdjacentGates`: a
+#: fused (4**k, 4**k) block costs 16**k multiplies per contraction, so
+#: runaway widening would undo the fusion win.
+PTM_FUSE_WIDTH = 2
 
 #: Density-mode classical branches below this trace weight are dropped:
 #: they are fp dust from projecting deterministic outcomes, and keeping
@@ -239,6 +255,72 @@ class DensityKrausOp:
 
     def __repr__(self) -> str:
         return f"DensityKrausOp({self.name} @ {self.row_targets}, {len(self.tensors)} ops)"
+
+
+# Gate PTMs memoised per (name, params, unitary bytes), mirroring the
+# registry's gate cache: sweeps rebinding the same values and repeated
+# lowerings share one U·U† conjugation instead of recomputing it per
+# instruction.  The matrix bytes are part of the key because (name,
+# params) does not determine the unitary for ad-hoc gates — every
+# transpile-fused block is named "unitary" with no params.
+_GATE_PTM_CACHE: "OrderedDict[Tuple[str, Tuple[float, ...], bytes], np.ndarray]" = (
+    OrderedDict()
+)
+_GATE_PTM_CACHE_MAX = 4096
+
+
+def _gate_ptm(
+    name: str, params: Sequence[float], matrix: np.ndarray, num_qubits: int
+) -> np.ndarray:
+    key = (
+        name,
+        tuple(float(p) for p in params),
+        np.ascontiguousarray(matrix).tobytes(),
+    )
+    cached = _GATE_PTM_CACHE.get(key)
+    if cached is not None:
+        _GATE_PTM_CACHE.move_to_end(key)
+        return cached
+    ptm = kraus_to_ptm((matrix,), num_qubits)
+    ptm.setflags(write=False)
+    _GATE_PTM_CACHE[key] = ptm
+    if len(_GATE_PTM_CACHE) > _GATE_PTM_CACHE_MAX:
+        _GATE_PTM_CACHE.popitem(last=False)
+    return ptm
+
+
+class PTMOp:
+    """A real Pauli-transfer-matrix contraction onto a ``(4,) * n`` vector.
+
+    The ptm-mode analogue of :class:`UnitaryOp` — same precomputed-axis
+    tensordot discipline, base 4 instead of base 2, float64 instead of
+    complex.  One op routinely covers a whole fused gate+channel run:
+    in this basis noise composes with gates by matrix multiplication, so
+    lowering collapses adjacent runs into a single ``(4**k, 4**k)`` block.
+    """
+
+    __slots__ = ("tensor", "targets", "in_axes", "out_axes", "name")
+
+    is_slot = False
+    is_dynamic = False
+
+    def __init__(
+        self, name: str, matrix: np.ndarray, targets: Sequence[int], dtype: np.dtype
+    ) -> None:
+        k = len(targets)
+        # asarray, not astype: the common float64 case shares the cached
+        # gate/channel PTM instead of copying it per op.
+        self.tensor = np.asarray(matrix, dtype=dtype).reshape((4,) * (2 * k))
+        self.targets = tuple(targets)
+        self.in_axes = tuple(range(k, 2 * k))
+        self.out_axes = tuple(range(k))
+        self.name = name
+
+    def apply(self, state: np.ndarray) -> np.ndarray:
+        return _contract(state, self.tensor, self.targets, self.in_axes, self.out_axes)
+
+    def __repr__(self) -> str:
+        return f"PTMOp({self.name} @ {self.targets})"
 
 
 class ParametricSlotOp:
@@ -582,6 +664,7 @@ PlanOp = Union[
     UnitaryOp,
     DensityUnitaryOp,
     DensityKrausOp,
+    PTMOp,
     ParametricSlotOp,
     MeasureOp,
     ResetOp,
@@ -650,7 +733,8 @@ class ExecutionPlan:
     # ------------------------------------------------------------------
     @property
     def mode(self) -> str:
-        """Lowering mode: ``"statevector"``, ``"density"`` or ``"trajectory"``."""
+        """Lowering mode: ``"statevector"``, ``"density"``, ``"trajectory"``
+        or ``"ptm"``."""
         return self._mode
 
     @property
@@ -759,6 +843,13 @@ class ExecutionPlan:
             matrix = op.resolve_matrix(values)
             if self._mode in (STATEVECTOR, TRAJECTORY):
                 ops.append(UnitaryOp(op.gate_name, matrix, op.targets, self._dtype))
+            elif self._mode == PTM:
+                bound = tuple(
+                    values[p.name] if isinstance(p, Parameter) else float(p)
+                    for p in op.params
+                )
+                tensor = _gate_ptm(op.gate_name, bound, matrix, len(op.targets))
+                ops.append(PTMOp(op.gate_name, tensor, op.targets, self._dtype))
             else:
                 ops.append(
                     DensityUnitaryOp(
@@ -802,6 +893,130 @@ def _lower_dynamic(
     return ConditionalOp(operation.clbit, operation.value, inner)
 
 
+class _PTMFusionGroup:
+    """A pending run of PTMs being fused into one op at lowering time.
+
+    The base-4 sibling of :class:`repro.transpile.fusion._FusionGroup`:
+    absorbing an op widens the accumulated matrix by ``kron`` with the
+    identity on any new qubits (existing qubits keep their slot order),
+    embeds the incoming PTM at the right slots, and left-multiplies.
+    Nothing here mutates its inputs, so cached gate/channel PTMs stay
+    shared until a second member actually arrives.
+    """
+
+    __slots__ = ("qubits", "matrix", "names")
+
+    def __init__(
+        self, qubits: Sequence[int], matrix: np.ndarray, name: str
+    ) -> None:
+        self.qubits = list(qubits)
+        self.matrix = matrix
+        self.names = [name]
+
+    def can_absorb(self, qubits: Sequence[int], max_width: int) -> bool:
+        return len(set(self.qubits) | set(qubits)) <= max_width
+
+    def absorb(self, qubits: Sequence[int], matrix: np.ndarray, name: str) -> None:
+        new = [q for q in qubits if q not in self.qubits]
+        if new:
+            self.matrix = np.kron(self.matrix, np.eye(4 ** len(new)))
+            self.qubits.extend(new)
+        positions = [self.qubits.index(q) for q in qubits]
+        incoming = embed_ptm(matrix, positions, len(self.qubits))
+        self.matrix = incoming @ self.matrix
+        self.names.append(name)
+
+
+def _lower_ptm(
+    circuit: Circuit,
+    dtype: np.dtype,
+    noise_model: Optional["NoiseModel"],
+    backend_name: str,
+) -> ExecutionPlan:
+    """Lower a circuit into fused :class:`PTMOp` runs for the ptm mode.
+
+    Gates and channels alike arrive as real PTMs and fuse greedily
+    through each other — the statevector fusion pass must stop at every
+    channel, but here a noisy layer collapses into one op per
+    ``PTM_FUSE_WIDTH``-qubit group.  Parametric slots (unknown matrices)
+    and ops wider than the cap stay barriers.
+    """
+    n = circuit.num_qubits
+    ops: List[PlanOp] = []
+    group: Optional[_PTMFusionGroup] = None
+
+    def flush() -> None:
+        nonlocal group
+        if group is not None:
+            ops.append(
+                PTMOp(
+                    "+".join(group.names),
+                    group.matrix,
+                    tuple(group.qubits),
+                    dtype,
+                )
+            )
+            group = None
+
+    def feed(name: str, ptm: np.ndarray, qubits: Sequence[int]) -> None:
+        nonlocal group
+        if len(qubits) > PTM_FUSE_WIDTH:
+            flush()
+            ops.append(PTMOp(name, ptm, tuple(qubits), dtype))
+            return
+        if group is not None and group.can_absorb(qubits, PTM_FUSE_WIDTH):
+            group.absorb(qubits, ptm, name)
+            return
+        flush()
+        group = _PTMFusionGroup(qubits, ptm, name)
+
+    for index, instruction in enumerate(circuit):
+        operation = instruction.operation
+        if instruction.is_dynamic:
+            raise SimulationError(
+                "circuit contains dynamic ops (measure/reset/if_bit); the "
+                "ptm backend evolves Pauli vectors with no classical "
+                "register — use backend='density_matrix' or "
+                "backend='trajectory'"
+            )
+        if instruction.is_channel:
+            feed(operation.name, operation.ptm, instruction.qubits)
+            continue
+        if instruction.is_parametric:
+            flush()
+            ops.append(
+                ParametricSlotOp(
+                    operation.name, operation.params, instruction.qubits, index
+                )
+            )
+        else:
+            feed(
+                operation.name,
+                _gate_ptm(
+                    operation.name,
+                    operation.params,
+                    operation.matrix,
+                    len(instruction.qubits),
+                ),
+                instruction.qubits,
+            )
+        if noise_model is not None:
+            for channel, qubits in noise_model.channels_for(instruction):
+                feed(channel.name, channel.ptm, qubits)
+    flush()
+    return ExecutionPlan(
+        PTM,
+        n,
+        ops,
+        circuit.parameters(),
+        dtype,
+        circuit,
+        backend_name,
+        stats=circuit.stats(),
+        num_clbits=circuit.num_clbits,
+    )
+
+
 def _lower(
     circuit: Circuit,
     mode: str,
@@ -810,10 +1025,12 @@ def _lower(
     backend_name: str,
 ) -> ExecutionPlan:
     """Lower a (transpiled) circuit into plan ops for ``mode``."""
+    if mode == PTM:
+        return _lower_ptm(circuit, dtype, noise_model, backend_name)
     if mode not in (STATEVECTOR, DENSITY, TRAJECTORY):
         raise SimulationError(
             f"unknown plan mode {mode!r}; expected "
-            f"{STATEVECTOR!r}, {DENSITY!r} or {TRAJECTORY!r}"
+            f"{STATEVECTOR!r}, {DENSITY!r}, {TRAJECTORY!r} or {PTM!r}"
         )
     n = circuit.num_qubits
     pure = mode in (STATEVECTOR, TRAJECTORY)
@@ -938,7 +1155,7 @@ def compile_plan(
 
         backend = get_backend(backend)
     mode = getattr(backend, "plan_mode", None)
-    if mode not in (STATEVECTOR, DENSITY, TRAJECTORY):
+    if mode not in (STATEVECTOR, DENSITY, TRAJECTORY, PTM):
         raise SimulationError(
             f"backend {getattr(backend, 'name', backend)!r} does not "
             "declare a plan_mode; only plan-capable backends can compile "

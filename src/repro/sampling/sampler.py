@@ -5,10 +5,11 @@ Sampling never loops over shots: outcomes are drawn with a single vectorised
 memory) over the ``2**n`` probability vector.  Sources may be circuits
 (simulated on any registered backend via ``backend=``), pure
 :class:`~repro.sim.Statevector` states, or mixed
-:class:`~repro.sim.DensityMatrix` states — density-matrix sampling reads
-the Born probabilities straight off the diagonal, so a noiseless
-density-matrix run reproduces the statevector backend's counts exactly
-under the same seed.
+:class:`~repro.sim.DensityMatrix` / :class:`~repro.sim.PauliVector`
+states — mixed-state sampling reads the Born probabilities straight off
+the density-matrix diagonal (or the I/Z Pauli components), so a
+noiseless mixed-state run reproduces the statevector backend's counts
+exactly under the same seed.
 
 Noise: a :class:`~repro.noise.NoiseModel` passed as ``noise_model=``
 applies its gate channels during simulation (circuit sources only; this
@@ -37,7 +38,7 @@ import numpy as np
 
 from repro.circuit import Circuit
 from repro.sampling.counts import Counts
-from repro.sim import DensityMatrix, Statevector, run
+from repro.sim import DensityMatrix, PauliVector, Statevector, run
 from repro.sim.registry import BackendLike
 from repro.utils.bitstrings import index_to_bitstring
 from repro.utils.exceptions import SimulationError
@@ -46,12 +47,12 @@ from repro.utils.rng import SeedLike, derive_seed, ensure_rng
 if TYPE_CHECKING:
     from repro.noise import NoiseModel
 
-Source = Union[Circuit, Statevector, DensityMatrix]
+Source = Union[Circuit, Statevector, DensityMatrix, PauliVector]
 
 
 def _resolve_state(
     source: Source, backend: BackendLike, noise_model: Optional["NoiseModel"]
-) -> Union[Statevector, DensityMatrix]:
+) -> Union[Statevector, DensityMatrix, PauliVector]:
     if isinstance(source, Circuit):
         if source.has_dynamic_ops():
             raise SimulationError(
@@ -63,7 +64,7 @@ def _resolve_state(
         from repro.execution.options import RunOptions
 
         return run(source, backend=backend, options=RunOptions(noise_model=noise_model))
-    if isinstance(source, (Statevector, DensityMatrix)):
+    if isinstance(source, (Statevector, DensityMatrix, PauliVector)):
         if noise_model is not None and noise_model.has_gate_noise:
             raise SimulationError(
                 "gate noise applies during simulation; pass the Circuit "
@@ -72,7 +73,7 @@ def _resolve_state(
         return source
     raise SimulationError(
         f"cannot sample from {type(source).__name__}; "
-        "expected a Circuit, Statevector, or DensityMatrix"
+        "expected a Circuit, Statevector, DensityMatrix, or PauliVector"
     )
 
 
@@ -89,7 +90,7 @@ def _resolve_rng(seed: SeedLike, repetition: int) -> np.random.Generator:
 
 
 def readout_probabilities(
-    state: Union[Statevector, DensityMatrix],
+    state: Union[Statevector, DensityMatrix, PauliVector],
     noise_model: Optional["NoiseModel"] = None,
 ) -> np.ndarray:
     """Normalised Born probabilities of ``state``, readout error applied.
@@ -133,7 +134,11 @@ def _prepare(
     repetition: int,
     backend: BackendLike,
     noise_model: Optional["NoiseModel"],
-) -> Tuple[Union[Statevector, DensityMatrix], np.random.Generator, np.ndarray]:
+) -> Tuple[
+    Union[Statevector, DensityMatrix, PauliVector],
+    np.random.Generator,
+    np.ndarray,
+]:
     """Shared sampling preamble: validate, simulate, corrupt, seed, normalise."""
     if shots < 1:
         raise SimulationError(f"shots must be positive, got {shots}")
@@ -156,7 +161,8 @@ def sample_counts(
     ----------
     source:
         A :class:`Circuit` (simulated on ``backend``), or an already
-        computed :class:`Statevector` / :class:`DensityMatrix`.
+        computed :class:`Statevector` / :class:`DensityMatrix` /
+        :class:`PauliVector`.
     shots:
         Number of measurement shots (must be positive).
     seed:

@@ -1,6 +1,6 @@
 """Simulation backends behind a unified registry.
 
-Three shipped backends, selected by name through :func:`get_backend` (or
+Four shipped backends, selected by name through :func:`get_backend` (or
 the ``backend=`` argument of :func:`run` and the sampling layer):
 
 * ``"statevector"`` — pure states as ``(2,) * n`` tensors; gates applied
@@ -12,6 +12,10 @@ the ``backend=`` argument of :func:`run` and the sampling layer):
   with one Kraus operator *sampled* per channel application, so noisy
   circuits stay at O(2**n) per trajectory and ``shots`` trajectories are
   averaged.
+* ``"ptm"`` — mixed states as real ``(4,) * n`` Pauli-basis vectors;
+  gates *and* channels are real Pauli-transfer matrices that fuse with
+  each other at lowering time, making it the fast exact engine for noisy
+  circuits (no dynamic ops).
 
 User backends implementing the :class:`Backend` protocol join via
 :func:`register_backend`.
@@ -33,6 +37,7 @@ from repro.sim.density import (
     apply_channel_to_density,
     apply_matrix_to_density,
 )
+from repro.sim.ptm import PauliVector, PTMBackend
 from repro.sim.trajectory import TrajectoryBackend
 
 __all__ = [
@@ -40,6 +45,8 @@ __all__ = [
     "BaseBackend",
     "DensityMatrix",
     "DensityMatrixBackend",
+    "PTMBackend",
+    "PauliVector",
     "Statevector",
     "StatevectorBackend",
     "TrajectoryBackend",

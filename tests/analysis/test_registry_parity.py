@@ -5,10 +5,18 @@ this parity suite pins the shared contract so they cannot drift apart:
 case-insensitive lookup (lower-cased keys on register *and* lookup), an
 ``unknown ... ; available: ...`` error message enumerating what exists,
 and a sorted ``available_*()`` listing.
+
+The per-backend suite below parametrizes over ``available_backends()``
+rather than a hard-coded name list, so a newly registered backend is
+covered (singleton identity, pickling, plan mode, public export) the
+moment it exists — no test edit required.
 """
+
+import pickle
 
 import pytest
 
+import repro
 from repro.analysis import available_rules, get_rule
 from repro.gates import available_gates, get_gate
 from repro.sim import available_backends, get_backend
@@ -57,3 +65,38 @@ class TestRegistryContract:
         assert "'no-such-entry'" in message
         for name in available():
             assert name in message
+
+
+@pytest.mark.parametrize("name", available_backends())
+class TestEveryBackend:
+    """Contract every registered backend satisfies, present and future."""
+
+    def test_lookup_is_case_insensitive_singleton(self, name):
+        backend = get_backend(name)
+        assert get_backend(name.upper()) is backend
+        assert get_backend(name.title()) is backend
+
+    def test_name_and_plan_mode_declared(self, name):
+        backend = get_backend(name)
+        assert backend.name == name
+        # plan_mode must be a mode compile_plan accepts, or lowering
+        # would fail on the first run.
+        assert backend.plan_mode in (
+            "statevector",
+            "density",
+            "trajectory",
+            "ptm",
+        )
+
+    def test_pickles_for_worker_pools(self, name):
+        # The service layer ships backends to process-pool workers.
+        backend = get_backend(name)
+        clone = pickle.loads(pickle.dumps(backend))
+        assert type(clone) is type(backend)
+        assert clone.name == backend.name
+        assert clone.plan_mode == backend.plan_mode
+
+    def test_backend_class_is_publicly_exported(self, name):
+        class_name = type(get_backend(name)).__name__
+        assert class_name in repro.__all__
+        assert getattr(repro, class_name) is type(get_backend(name))

@@ -32,6 +32,13 @@ _ROW_KEYS = {
     "expectation_z0",
     "expectations_match",
     "eager_matches_plan",
+    "run_time_ptm_s",
+    "ptm_speedup_vs_density",
+    "ptm_counts_match",
+    "ptm_expectations_match",
+    "plan_ops_density",
+    "plan_ops_ptm",
+    "ptm_fewer_ops",
 }
 
 _SWEEP_KEYS = {
@@ -91,7 +98,7 @@ def smoke_report():
 
 class TestRunSuite:
     def test_schema(self, smoke_report):
-        assert smoke_report["schema_version"] == SCHEMA_VERSION == 6
+        assert smoke_report["schema_version"] == SCHEMA_VERSION == 7
         assert smoke_report["config"]["smoke"] is True
         assert smoke_report["config"]["backend"] == "statevector"
         assert smoke_report["config"]["sweep"] is False
@@ -272,7 +279,11 @@ class TestDensityWorkloads:
         density = [
             r for r in smoke_report["workloads"] if r["backend"] == "density_matrix"
         ]
-        assert {r["name"] for r in density} == {"ghz_depolarizing", "layered_damped"}
+        assert {r["name"] for r in density} == {
+            "ghz_depolarizing",
+            "layered_damped",
+            "brickwork_depolarized",
+        }
         for row in density:
             assert row["noise"] is not None
             assert row["counts_match"]
@@ -409,6 +420,55 @@ class TestDensityWorkloads:
                 shots=16,
                 repeats=1,
             )
+
+
+class TestPTMColumns:
+    """Schema-7 PTM race: every density row carries the comparison."""
+
+    def test_ptm_columns_null_on_statevector_rows(self, smoke_report):
+        for row in smoke_report["workloads"]:
+            if row["backend"] == "density_matrix":
+                continue
+            assert row["run_time_ptm_s"] is None
+            assert row["ptm_speedup_vs_density"] is None
+            assert row["ptm_counts_match"] is None
+            assert row["ptm_expectations_match"] is None
+            assert row["plan_ops_density"] is None
+            assert row["plan_ops_ptm"] is None
+            assert row["ptm_fewer_ops"] is None
+
+    def test_ptm_equivalence_on_density_rows(self, smoke_report):
+        density = [
+            r for r in smoke_report["workloads"] if r["backend"] == "density_matrix"
+        ]
+        assert density
+        for row in density:
+            assert row["ptm_counts_match"] is True
+            assert row["ptm_expectations_match"] is True
+
+    def test_ptm_fuses_through_channels(self, smoke_report):
+        # The headline structural claim: PTM lowering folds gate+channel
+        # runs into single real ops, so its plans are strictly shorter
+        # than the density plans for the same fused circuit.
+        for row in smoke_report["workloads"]:
+            if row["backend"] != "density_matrix":
+                continue
+            assert row["plan_ops_ptm"] < row["plan_ops_density"]
+            assert row["ptm_fewer_ops"] is True
+
+    def test_ptm_timings_sane(self, smoke_report):
+        for row in smoke_report["workloads"]:
+            if row["backend"] != "density_matrix":
+                continue
+            assert row["run_time_ptm_s"] > 0
+            speedup = row["ptm_speedup_vs_density"]
+            assert speedup is None or (math.isfinite(speedup) and speedup > 0)
+
+    def test_strict_json_round_trip(self, smoke_report):
+        payload = json.dumps(smoke_report)
+        assert "Infinity" not in payload
+        rows = _strict_loads(payload)["workloads"]
+        assert any(r["ptm_speedup_vs_density"] is not None for r in rows)
 
 
 class TestCli:

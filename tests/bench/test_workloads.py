@@ -3,6 +3,7 @@
 import pytest
 
 from repro.bench import (
+    brickwork_depolarized,
     default_workloads,
     ghz,
     ghz_depolarizing,
@@ -79,6 +80,25 @@ class TestNoisyBuilders:
         assert state.num_qubits == 3
         assert state.purity() < 1.0
 
+    def test_brickwork_depolarized_structure(self):
+        circuit = brickwork_depolarized(3, layers=2, p=0.05)
+        ops = circuit.count_ops()
+        assert ops["rz"] == 3 * 2
+        assert ops["ry"] == 3 * 2
+        # One channel behind every gate: 2 per single-qubit pair per
+        # qubit per layer, plus 2 per brickwork CX.
+        assert ops["depolarizing"] == 2 * 3 * 2 + 2 * ops["cx"]
+        assert circuit.has_channels()
+
+    def test_brickwork_depolarized_deterministic(self):
+        assert brickwork_depolarized(4, layers=2) == brickwork_depolarized(4, layers=2)
+
+    def test_brickwork_depolarized_ptm_matches_density(self):
+        circuit = brickwork_depolarized(3, layers=2)
+        rho = run(circuit, backend="density_matrix")
+        pauli = run(circuit, backend="ptm")
+        assert pauli.to_density_matrix() == rho
+
 
 class TestDefaultWorkloads:
     def test_full_sizes(self):
@@ -97,6 +117,7 @@ class TestDefaultWorkloads:
             "random_dense",
             "ghz_depolarizing",
             "layered_damped",
+            "brickwork_depolarized",
         }
 
     def test_noisy_workloads_are_labelled(self):

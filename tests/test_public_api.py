@@ -50,10 +50,11 @@ class TestAll:
             "phase_damping",
             "Backend",
             "DensityMatrix",
-            "DensityMatrixBackend",
             "get_backend",
             "register_backend",
             "available_backends",
+            # Pauli-transfer-matrix surface
+            "PauliVector",
             # unified execution surface
             "execute",
             "submit",
@@ -74,11 +75,10 @@ class TestAll:
             "clear_plan_cache",
             "run_batched_sweep",
             "expectation_batched",
-            # dynamic circuits + trajectory surface
+            # dynamic circuits surface
             "Measure",
             "Reset",
             "Conditional",
-            "TrajectoryBackend",
             "Circuit",
             "execute_async",
             "ExecutionService",
@@ -90,6 +90,16 @@ class TestAll:
     def test_new_entry_points_exported(self, name):
         assert name in repro.__all__
         assert getattr(repro, name) is not None
+
+    def test_every_registered_backend_class_exported(self):
+        # Derived from the registry, not a hard-coded name list: whatever
+        # backend registers itself must also export its class here.
+        for backend_name in repro.available_backends():
+            class_name = type(repro.get_backend(backend_name)).__name__
+            assert class_name in repro.__all__, (
+                f"backend {backend_name!r} registered but {class_name} is "
+                f"not in repro.__all__"
+            )
 
     def test_star_import(self):
         namespace = {}
